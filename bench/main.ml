@@ -1,0 +1,646 @@
+(** Benchmark harness regenerating every evaluation claim of the paper
+    (see DESIGN.md §4 for the experiment index):
+
+    - E1  IVM propagation vs full recomputation (base-size × delta-size sweep)
+    - E2  ART index build strategies and upsert acceleration
+    - E3  the demo's 4-way comparison: pure OLAP / pure OLTP /
+          cross-system with IVM / cross-system without IVM
+    - E4  combine-strategy and refresh-granularity ablations
+    - E5  compiler latency per view class
+
+    Each experiment prints a table of the same series the paper's demo
+    reports; `--micro` additionally runs one Bechamel micro-benchmark per
+    experiment. Absolute numbers reflect the Minidb substrate, but the
+    *shapes* (who wins, by what factor, where crossovers fall) are the
+    reproduction targets recorded in EXPERIMENTS.md. *)
+
+open Openivm_engine
+open Openivm_workload
+
+let scale = ref `Medium
+let run_micro = ref false
+
+let sizes () =
+  match !scale with
+  | `Small -> ([ 5_000; 20_000 ], [ 10; 100; 1_000 ])
+  | `Medium -> ([ 10_000; 50_000; 200_000 ], [ 10; 100; 1_000; 10_000 ])
+  | `Full -> ([ 10_000; 100_000; 1_000_000 ], [ 10; 100; 1_000; 10_000; 100_000 ])
+
+(* --- shared setup --- *)
+
+let groups_view_sql =
+  "CREATE MATERIALIZED VIEW query_groups AS SELECT group_index, \
+   SUM(group_value) AS total_value, COUNT(*) AS n FROM groups GROUP BY \
+   group_index"
+
+let setup_groups_db ~rows ~domain ~strategy : Database.t * Openivm.Runner.view =
+  let db = Database.create () in
+  ignore (Database.exec db Datagen.groups_ddl);
+  Datagen.populate_groups ~domain db (Datagen.create ()) ~rows;
+  let flags = { Openivm.Flags.default with strategy } in
+  let v = Openivm.Runner.install ~flags db groups_view_sql in
+  (db, v)
+
+(* best-of-3 to suppress scheduler noise: each round applies a fresh delta
+   of the same size and times only the propagation *)
+let apply_and_refresh db v gen ~delta_rows ~domain =
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let delta = Datagen.groups_delta_rows ~domain gen ~rows:delta_rows in
+    Datagen.apply_groups_delta db delta;
+    let dt = Timer.time_unit (fun () -> Openivm.Runner.force_refresh v) in
+    if dt < !best then best := dt
+  done;
+  !best
+
+(* --- E1: IVM vs full recomputation --- *)
+
+let e1 () =
+  let bases, deltas = sizes () in
+  let report =
+    Report.create ~title:"E1: incremental propagation vs full recomputation"
+      ~headers:
+        [ "base rows"; "delta rows"; "ivm refresh"; "recompute"; "speedup" ]
+  in
+  List.iter
+    (fun base ->
+       let domain = max 100 (base / 100) in
+       List.iter
+         (fun delta ->
+            if delta <= base then begin
+              let db_ivm, v_ivm =
+                setup_groups_db ~rows:base ~domain
+                  ~strategy:Openivm.Flags.Upsert_linear
+              in
+              let db_full, v_full =
+                setup_groups_db ~rows:base ~domain
+                  ~strategy:Openivm.Flags.Full_recompute
+              in
+              let gen = Datagen.create ~seed:77 () in
+              let t_ivm =
+                apply_and_refresh db_ivm v_ivm gen ~delta_rows:delta ~domain
+              in
+              let gen = Datagen.create ~seed:77 () in
+              let t_full =
+                apply_and_refresh db_full v_full gen ~delta_rows:delta ~domain
+              in
+              Report.add_row report
+                [ string_of_int base; string_of_int delta;
+                  Timer.pp_duration t_ivm; Timer.pp_duration t_full;
+                  Report.speedup t_full t_ivm ]
+            end)
+         deltas)
+    bases;
+  Report.print report
+
+(* --- E1b: the same sweep over a 3-way join view (TPC-H-lite) --- *)
+
+let e1b () =
+  let orders_list, deltas =
+    match !scale with
+    | `Small -> ([ 500 ], [ 10; 50 ])
+    | `Medium -> ([ 1_000; 4_000 ], [ 10; 50; 200 ])
+    | `Full -> ([ 1_000; 4_000; 16_000 ], [ 10; 50; 200; 1_000 ])
+  in
+  let report =
+    Report.create
+      ~title:
+        "E1b: 3-way join view (TPC-H-lite revenue) — IVM vs recompute"
+      ~headers:
+        [ "orders"; "delta orders"; "ivm refresh"; "recompute"; "speedup" ]
+  in
+  List.iter
+    (fun orders ->
+       List.iter
+         (fun delta ->
+            let setup strategy =
+              let db = Database.create () in
+              List.iter (fun sql -> ignore (Database.exec db sql))
+                Tpch_lite.all_ddl;
+              let gen = Tpch_lite.create ~customers:(max 50 (orders / 10)) () in
+              Tpch_lite.populate db gen ~orders;
+              let flags = { Openivm.Flags.default with strategy } in
+              let v = Openivm.Runner.install ~flags db Tpch_lite.revenue_view in
+              (db, gen, v)
+            in
+            let run (db, gen, v) =
+              let best = ref infinity in
+              for _ = 1 to 3 do
+                for _ = 1 to delta do
+                  List.iter (fun sql -> ignore (Database.exec db sql))
+                    (Tpch_lite.order_statements gen)
+                done;
+                List.iter (fun sql -> ignore (Database.exec db sql))
+                  (Tpch_lite.cancel_statements gen);
+                let dt =
+                  Timer.time_unit (fun () -> Openivm.Runner.force_refresh v)
+                in
+                if dt < !best then best := dt
+              done;
+              !best
+            in
+            let t_ivm = run (setup Openivm.Flags.Upsert_linear) in
+            let t_full = run (setup Openivm.Flags.Full_recompute) in
+            Report.add_row report
+              [ string_of_int orders; string_of_int delta;
+                Timer.pp_duration t_ivm; Timer.pp_duration t_full;
+                Report.speedup t_full t_ivm ])
+         deltas)
+    orders_list;
+  Report.print report
+
+(* --- E2: ART index build strategies and upsert speed --- *)
+
+let e2 () =
+  let ns = match !scale with
+    | `Small -> [ 10_000; 50_000 ]
+    | `Medium -> [ 10_000; 100_000; 400_000 ]
+    | `Full -> [ 10_000; 100_000; 1_000_000 ]
+  in
+  let report =
+    Report.create ~title:"E2a: ART build — per-row inserts vs bulk vs chunked merge"
+      ~headers:[ "keys"; "insert each"; "bulk sorted"; "16 chunks + merge" ]
+  in
+  List.iter
+    (fun n ->
+       let bindings =
+         Array.init n (fun i -> (Value.encode_key [| Value.Int i |], i))
+       in
+       let t_insert =
+         Timer.best_of (fun () ->
+             let t = Art.create () in
+             Array.iter (fun (k, v) -> Art.insert t k v) bindings)
+       in
+       let t_bulk = Timer.best_of (fun () -> ignore (Art.of_sorted bindings)) in
+       let chunks = 16 in
+       let t_chunked =
+         Timer.best_of (fun () ->
+             let size = (n + chunks - 1) / chunks in
+             let parts =
+               List.init chunks (fun c ->
+                   let lo = c * size in
+                   let hi = min n (lo + size) in
+                   if hi <= lo then Art.create ()
+                   else Art.of_sorted (Array.sub bindings lo (hi - lo)))
+             in
+             match parts with
+             | [] -> ()
+             | first :: rest ->
+               List.iter
+                 (fun part -> Art.merge ~combine:(fun _ v -> v) first part)
+                 rest)
+       in
+       Report.add_row report
+         [ string_of_int n; Timer.pp_duration t_insert;
+           Timer.pp_duration t_bulk; Timer.pp_duration t_chunked ])
+    ns;
+  Report.print report;
+  (* E2b: upserting into a materialized aggregate with / without the ART
+     PK (without = delete-then-insert by predicate scan) *)
+  let base = match !scale with `Small -> 20_000 | `Medium -> 100_000 | `Full -> 400_000 in
+  let batch = 1_000 in
+  let report2 =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "E2b: applying %d group upserts into a %d-group view" batch base)
+      ~headers:[ "method"; "time"; "per row" ]
+  in
+  let mk_db () =
+    let db = Database.create () in
+    ignore (Database.exec db "CREATE TABLE v(k INTEGER PRIMARY KEY, s INTEGER)");
+    let tbl = Catalog.find_table (Database.catalog db) "v" in
+    Trigger.without_hooks (Database.triggers db) (fun () ->
+        for i = 0 to base - 1 do
+          Table.insert tbl [| Value.Int i; Value.Int (i * 3) |]
+        done);
+    db
+  in
+  let db = mk_db () in
+  let t_upsert =
+    Timer.time_unit (fun () ->
+        for i = 0 to batch - 1 do
+          ignore
+            (Database.exec db
+               (Printf.sprintf "INSERT OR REPLACE INTO v VALUES (%d, %d)"
+                  (i * 97 mod base) i))
+        done)
+  in
+  Report.add_row report2
+    [ "ART-indexed upsert"; Timer.pp_duration t_upsert;
+      Timer.pp_duration (t_upsert /. float_of_int batch) ];
+  let db2 = Database.create () in
+  ignore (Database.exec db2 "CREATE TABLE v(k INTEGER, s INTEGER)");
+  let tbl2 = Catalog.find_table (Database.catalog db2) "v" in
+  Trigger.without_hooks (Database.triggers db2) (fun () ->
+      for i = 0 to base - 1 do
+        Table.insert tbl2 [| Value.Int i; Value.Int (i * 3) |]
+      done);
+  let t_scan =
+    Timer.time_unit (fun () ->
+        for i = 0 to batch - 1 do
+          let key = i * 97 mod base in
+          ignore
+            (Database.exec db2
+               (Printf.sprintf "DELETE FROM v WHERE k = %d" key));
+          ignore
+            (Database.exec db2
+               (Printf.sprintf "INSERT INTO v VALUES (%d, %d)" key i))
+        done)
+  in
+  Report.add_row report2
+    [ "unindexed delete+insert"; Timer.pp_duration t_scan;
+      Timer.pp_duration (t_scan /. float_of_int batch) ];
+  Report.print report2
+
+(* --- E3: the demo's 4-way cross-system comparison --- *)
+
+let e3 () =
+  let seed_rows, batch_rows, rounds =
+    match !scale with
+    | `Small -> (10_000, 200, 3)
+    | `Medium -> (50_000, 500, 4)
+    | `Full -> (200_000, 1_000, 5)
+  in
+  (* the OLTP side indexes the transaction key, as any OLTP system would *)
+  let schema_sql =
+    Datagen.groups_ddl ^ "; CREATE INDEX idx_groups_key ON groups(group_index);"
+  in
+  let analytical =
+    "SELECT group_index, SUM(group_value) AS total_value, COUNT(*) AS n FROM \
+     groups GROUP BY group_index"
+  in
+  let report =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "E3: time to a fresh analytical answer (%d seed rows, %d-stmt \
+            tx batches, mean of %d rounds)"
+           seed_rows batch_rows rounds)
+      ~headers:[ "deployment"; "tx batch"; "fresh answer"; "total" ]
+  in
+  let tx_seed = 4242 in
+  (* (a) pure OLAP embedded engine + IVM *)
+  let bench_pure_olap () =
+    let db = Database.create () in
+    ignore (Database.exec_script db schema_sql);
+    let tx = Openivm_htap.Txgen.create ~seed:tx_seed () in
+    List.iter (fun sql -> ignore (Database.exec db sql))
+      (Openivm_htap.Txgen.seed_rows tx seed_rows);
+    let v = Openivm.Runner.install db ("CREATE MATERIALIZED VIEW query_groups AS " ^ analytical) in
+    let t_tx = ref 0.0 and t_q = ref 0.0 in
+    for _ = 1 to rounds do
+      let batch = Openivm_htap.Txgen.batch tx batch_rows in
+      t_tx := !t_tx +. Timer.time_unit (fun () ->
+          List.iter (fun sql -> ignore (Database.exec db sql)) batch);
+      t_q := !t_q +. Timer.time_unit (fun () ->
+          ignore (Openivm.Runner.query v "SELECT * FROM query_groups"))
+    done;
+    (!t_tx /. float_of_int rounds, !t_q /. float_of_int rounds)
+  in
+  (* (b) pure OLTP engine, recompute on read *)
+  let bench_pure_oltp () =
+    let oltp = Openivm_htap.Oltp.create () in
+    ignore (Database.exec_script (Openivm_htap.Oltp.db oltp) schema_sql);
+    let tx = Openivm_htap.Txgen.create ~seed:tx_seed () in
+    List.iter (fun sql -> ignore (Openivm_htap.Oltp.exec oltp sql))
+      (Openivm_htap.Txgen.seed_rows tx seed_rows);
+    let t_tx = ref 0.0 and t_q = ref 0.0 in
+    for _ = 1 to rounds do
+      let batch = Openivm_htap.Txgen.batch tx batch_rows in
+      t_tx := !t_tx +. Timer.time_unit (fun () ->
+          List.iter (fun sql -> ignore (Openivm_htap.Oltp.exec oltp sql)) batch);
+      t_q := !t_q +. Timer.time_unit (fun () ->
+          ignore (Openivm_htap.Oltp.query oltp analytical))
+    done;
+    (!t_tx /. float_of_int rounds, !t_q /. float_of_int rounds)
+  in
+  (* (c) cross-system with IVM; (d) cross-system shipping everything *)
+  let bench_cross ~with_ivm () =
+    let p =
+      Openivm_htap.Pipeline.create ~schema_sql
+        ~view_sql:("CREATE MATERIALIZED VIEW query_groups AS " ^ analytical)
+        ()
+    in
+    let tx = Openivm_htap.Txgen.create ~seed:tx_seed () in
+    List.iter (fun sql -> ignore (Openivm_htap.Pipeline.exec_oltp p sql))
+      (Openivm_htap.Txgen.seed_rows tx seed_rows);
+    ignore (Openivm_htap.Pipeline.sync p);
+    Openivm.Runner.force_refresh (Openivm_htap.Pipeline.view p);
+    let t_tx = ref 0.0 and t_q = ref 0.0 in
+    for _ = 1 to rounds do
+      let batch = Openivm_htap.Txgen.batch tx batch_rows in
+      t_tx := !t_tx +. Timer.time_unit (fun () ->
+          List.iter (fun sql -> ignore (Openivm_htap.Pipeline.exec_oltp p sql)) batch);
+      t_q := !t_q +. Timer.time_unit (fun () ->
+          if with_ivm then
+            ignore (Openivm_htap.Pipeline.query p "SELECT * FROM query_groups")
+          else ignore (Openivm_htap.Pipeline.query_without_ivm p))
+    done;
+    (!t_tx /. float_of_int rounds, !t_q /. float_of_int rounds)
+  in
+  let add name (t_tx, t_q) =
+    Report.add_row report
+      [ name; Timer.pp_duration t_tx; Timer.pp_duration t_q;
+        Timer.pp_duration (t_tx +. t_q) ]
+  in
+  add "pure OLAP engine + IVM" (bench_pure_olap ());
+  add "pure OLTP engine, recompute" (bench_pure_oltp ());
+  add "cross-system + IVM (paper)" (bench_cross ~with_ivm:true ());
+  add "cross-system, ship-all + recompute" (bench_cross ~with_ivm:false ());
+  Report.print report
+
+(* --- E4: strategy and refresh-granularity ablations --- *)
+
+let e4 () =
+  let base = match !scale with `Small -> 20_000 | `Medium -> 100_000 | `Full -> 200_000 in
+  let deltas = match !scale with
+    | `Small -> [ 100; 2_000 ]
+    | `Medium | `Full -> [ 100; 1_000; 10_000 ]
+  in
+  let report =
+    Report.create
+      ~title:
+        (Printf.sprintf "E4a: combine strategies (%d base rows)" base)
+      ~headers:
+        [ "delta rows"; "upsert_linear"; "union_regroup"; "outer_join_merge";
+          "rederive_affected"; "full_recompute"; "advisor picks" ]
+  in
+  List.iter
+    (fun delta ->
+       let time strategy =
+         let db, v = setup_groups_db ~rows:base ~domain:1000 ~strategy in
+         let gen = Datagen.create ~seed:13 () in
+         apply_and_refresh db v gen ~delta_rows:delta ~domain:1000
+       in
+       let advised =
+         let db, v =
+           setup_groups_db ~rows:base ~domain:1000
+             ~strategy:Openivm.Flags.Upsert_linear
+         in
+         ignore v;
+         let shape =
+           match
+             Openivm.Shape.analyze (Database.catalog db) ~view_name:"probe"
+               (Openivm_sql.Parser.parse_select
+                  "SELECT group_index, SUM(group_value) AS total_value,                    COUNT(*) AS n FROM groups GROUP BY group_index")
+           with
+           | Ok s -> s
+           | Error e -> failwith e
+         in
+         (Openivm.Advisor.advise (Database.catalog db) shape
+            ~expected_delta:delta)
+           .Openivm.Advisor.recommended
+       in
+       Report.add_row report
+         [ string_of_int delta;
+           Timer.pp_duration (time Openivm.Flags.Upsert_linear);
+           Timer.pp_duration (time Openivm.Flags.Union_regroup);
+           Timer.pp_duration (time Openivm.Flags.Outer_join_merge);
+           Timer.pp_duration (time Openivm.Flags.Rederive_affected);
+           Timer.pp_duration (time Openivm.Flags.Full_recompute);
+           Openivm.Flags.strategy_to_string advised ])
+    deltas;
+  Report.print report;
+  (* E4b: eager per-statement refresh vs lazy batch refresh *)
+  let n_stmts = match !scale with `Small -> 200 | _ -> 500 in
+  let report2 =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "E4b: refresh granularity over %d single-row inserts (%d base \
+            rows)"
+           n_stmts base)
+      ~headers:[ "mode"; "total time"; "per stmt" ]
+  in
+  let run_mode refresh =
+    let db = Database.create () in
+    ignore (Database.exec db Datagen.groups_ddl);
+    Datagen.populate_groups ~domain:1000 db (Datagen.create ()) ~rows:base;
+    let flags = { Openivm.Flags.default with refresh } in
+    let v = Openivm.Runner.install ~flags db groups_view_sql in
+    let t =
+      Timer.time_unit (fun () ->
+          for i = 0 to n_stmts - 1 do
+            ignore
+              (Database.exec db
+                 (Printf.sprintf "INSERT INTO groups VALUES ('g%05d', %d)"
+                    (i mod 1000) i))
+          done;
+          Openivm.Runner.refresh v)
+    in
+    ignore v;
+    t
+  in
+  let t_eager = run_mode Openivm.Flags.Eager in
+  let t_lazy = run_mode Openivm.Flags.Lazy in
+  Report.add_row report2
+    [ "eager (refresh per statement)"; Timer.pp_duration t_eager;
+      Timer.pp_duration (t_eager /. float_of_int n_stmts) ];
+  Report.add_row report2
+    [ "lazy (one refresh at read)"; Timer.pp_duration t_lazy;
+      Timer.pp_duration (t_lazy /. float_of_int n_stmts) ];
+  Report.print report2
+
+(* --- E4c: batching granularity vs staleness --- *)
+
+let e4c () =
+  let base = match !scale with `Small -> 20_000 | _ -> 50_000 in
+  let total_stmts = match !scale with `Small -> 400 | _ -> 1_000 in
+  let report =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "E4c: refresh batching over %d inserts (%d base rows) — cost vs             recency"
+           total_stmts base)
+      ~headers:
+        [ "refresh every"; "total time"; "per stmt"; "avg staleness (rows)" ]
+  in
+  List.iter
+    (fun every ->
+       let db = Database.create () in
+       ignore (Database.exec db Datagen.groups_ddl);
+       Datagen.populate_groups ~domain:1000 db (Datagen.create ()) ~rows:base;
+       let v = Openivm.Runner.install db groups_view_sql in
+       let staleness_samples = ref 0 in
+       let staleness_total = ref 0 in
+       let t =
+         Timer.time_unit (fun () ->
+             for i = 0 to total_stmts - 1 do
+               ignore
+                 (Database.exec db
+                    (Printf.sprintf "INSERT INTO groups VALUES ('g%05d', %d)"
+                       (i mod 1000) i));
+               incr staleness_samples;
+               staleness_total := !staleness_total + v.Openivm.Runner.pending_deltas;
+               if (i + 1) mod every = 0 then Openivm.Runner.force_refresh v
+             done;
+             Openivm.Runner.refresh v)
+       in
+       Report.add_row report
+         [ string_of_int every; Timer.pp_duration t;
+           Timer.pp_duration (t /. float_of_int total_stmts);
+           Printf.sprintf "%.1f"
+             (float_of_int !staleness_total /. float_of_int !staleness_samples) ])
+    [ 1; 10; 100; 1000 ];
+  Report.print report
+
+(* --- E5: compiler latency --- *)
+
+let e5_views =
+  [ ("projection", "CREATE MATERIALIZED VIEW v AS SELECT group_index, group_value FROM groups");
+    ("filter", "CREATE MATERIALIZED VIEW v AS SELECT group_index FROM groups WHERE group_value > 10");
+    ("sum/count group", groups_view_sql);
+    ("min/max group", "CREATE MATERIALIZED VIEW v AS SELECT group_index, MIN(group_value) AS lo, MAX(group_value) AS hi FROM groups GROUP BY group_index");
+    ("global aggregate", "CREATE MATERIALIZED VIEW v AS SELECT SUM(group_value) AS s FROM groups");
+    ("join aggregate",
+     "CREATE MATERIALIZED VIEW v AS SELECT customers.region, \
+      SUM(sales.amount) AS total FROM sales JOIN customers ON sales.cust = \
+      customers.cust GROUP BY customers.region") ]
+
+let e5_catalog () =
+  let db = Database.create () in
+  ignore (Database.exec db Datagen.groups_ddl);
+  ignore (Database.exec db Datagen.sales_ddl);
+  ignore (Database.exec db Datagen.customers_ddl);
+  Database.catalog db
+
+let e5 () =
+  let catalog = e5_catalog () in
+  let report =
+    Report.create ~title:"E5: SQL-to-SQL compilation latency per view class"
+      ~headers:[ "view class"; "compile time"; "emitted statements" ]
+  in
+  List.iter
+    (fun (name, sql) ->
+       let reps = 200 in
+       let t =
+         Timer.time_unit (fun () ->
+             for _ = 1 to reps do
+               ignore (Openivm.Compiler.compile catalog sql)
+             done)
+       in
+       let c = Openivm.Compiler.compile catalog sql in
+       let stmt_count =
+         List.length c.Openivm.Compiler.ddl
+         + List.length c.Openivm.Compiler.metadata_dml
+         + 1
+         + List.length (Openivm.Propagate.all_statements c.Openivm.Compiler.script)
+       in
+       Report.add_row report
+         [ name; Timer.pp_duration (t /. float_of_int reps);
+           string_of_int stmt_count ])
+    e5_views;
+  Report.print report
+
+(* --- Bechamel micro-benchmarks: one Test.make per experiment table --- *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  (* E1 micro: one propagation refresh over a prepared delta *)
+  let e1_test =
+    let db, v =
+      setup_groups_db ~rows:5_000 ~domain:500
+        ~strategy:Openivm.Flags.Upsert_linear
+    in
+    let gen = Datagen.create ~seed:5 () in
+    Test.make ~name:"e1/propagate_100_of_5k"
+      (Staged.stage (fun () ->
+           Datagen.apply_groups_delta db
+             (Datagen.groups_delta_rows ~domain:500 gen ~rows:100);
+           Openivm.Runner.force_refresh v))
+  in
+  let e2_test =
+    let bindings =
+      Array.init 10_000 (fun i -> (Value.encode_key [| Value.Int i |], i))
+    in
+    Test.make ~name:"e2/art_bulk_build_10k"
+      (Staged.stage (fun () -> ignore (Art.of_sorted bindings)))
+  in
+  let e3_test =
+    let p =
+      Openivm_htap.Pipeline.create
+        ~schema_sql:(Datagen.groups_ddl ^ ";")
+        ~view_sql:groups_view_sql ()
+    in
+    let tx = Openivm_htap.Txgen.create ~seed:1 () in
+    Test.make ~name:"e3/cross_system_round_50tx"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun sql -> ignore (Openivm_htap.Pipeline.exec_oltp p sql))
+             (Openivm_htap.Txgen.batch tx 50);
+           ignore (Openivm_htap.Pipeline.query p "SELECT * FROM query_groups")))
+  in
+  let e4_test =
+    let db, v =
+      setup_groups_db ~rows:5_000 ~domain:500
+        ~strategy:Openivm.Flags.Rederive_affected
+    in
+    let gen = Datagen.create ~seed:6 () in
+    Test.make ~name:"e4/rederive_100_of_5k"
+      (Staged.stage (fun () ->
+           Datagen.apply_groups_delta db
+             (Datagen.groups_delta_rows ~domain:500 gen ~rows:100);
+           Openivm.Runner.force_refresh v))
+  in
+  let e5_test =
+    let catalog = e5_catalog () in
+    Test.make ~name:"e5/compile_sum_count_view"
+      (Staged.stage (fun () ->
+           ignore (Openivm.Compiler.compile catalog groups_view_sql)))
+  in
+  let grouped =
+    Test.make_grouped ~name:"openivm"
+      [ e1_test; e2_test; e3_test; e4_test; e5_test ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let report =
+    Report.create ~title:"Bechamel micro-benchmarks (monotonic clock)"
+      ~headers:[ "benchmark"; "time/run" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+       let t =
+         match Analyze.OLS.estimates est with
+         | Some (t :: _) -> Timer.pp_duration (t *. 1e-9)
+         | _ -> "n/a"
+       in
+       rows := (name, t) :: !rows)
+    results;
+  List.iter
+    (fun (name, t) -> Report.add_row report [ name; t ])
+    (List.sort compare !rows);
+  Report.print report
+
+(* --- driver --- *)
+
+let () =
+  Array.iter
+    (function
+      | "--small" -> scale := `Small
+      | "--full" -> scale := `Full
+      | "--micro" -> run_micro := true
+      | _ -> ())
+    Sys.argv;
+  Printf.printf
+    "OpenIVM benchmark harness (scale: %s)\n\
+     Substrate: Minidb engine — shapes, not absolute numbers, are the \
+     reproduction target.\n\n"
+    (match !scale with `Small -> "small" | `Medium -> "medium" | `Full -> "full");
+  e1 ();
+  e1b ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e4c ();
+  e5 ();
+  if !run_micro then micro ()

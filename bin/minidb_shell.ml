@@ -1,0 +1,119 @@
+(** Interactive shell — the demonstration's "DuckDB shell" stand-in: a
+    read-eval-print loop over the Minidb engine with the OpenIVM extension
+    loaded, so CREATE MATERIALIZED VIEW works natively and base-table DML
+    feeds the installed views.
+
+    Dot commands: .tables, .views, .plan <sql>, .scripts <view>,
+    .refresh <view>, .help, .quit. *)
+
+open Openivm_engine
+
+let print_help () =
+  print_string
+    "Statements end with ';'. CREATE MATERIALIZED VIEW is compiled by \
+     OpenIVM.\n\
+     .tables             list tables\n\
+     .views              list installed materialized views\n\
+     .plan SELECT ...;   show the optimized logical plan\n\
+     .scripts NAME       show the stored propagation script for a view\n\
+     .refresh NAME       force-refresh a materialized view\n\
+     .help               this message\n\
+     .quit               exit\n"
+
+let handle_dot (ext : Openivm.Runner.extension) line =
+  let db = ext.Openivm.Runner.ext_db in
+  let parts =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  in
+  match parts with
+  | [ ".quit" ] | [ ".exit" ] -> exit 0
+  | [ ".help" ] -> print_help ()
+  | [ ".tables" ] ->
+    List.iter print_endline (Catalog.table_names (Database.catalog db))
+  | [ ".views" ] ->
+    List.iter
+      (fun v ->
+         Printf.printf "%s  (pending deltas: %d, refreshes: %d)\n"
+           (Openivm.Runner.view_name v)
+           v.Openivm.Runner.pending_deltas v.Openivm.Runner.refresh_count)
+      ext.Openivm.Runner.ext_views
+  | ".plan" :: rest ->
+    let sql = String.concat " " rest in
+    let sql =
+      if String.length sql > 0 && sql.[String.length sql - 1] = ';' then
+        String.sub sql 0 (String.length sql - 1)
+      else sql
+    in
+    (match Database.exec db ("EXPLAIN " ^ sql) with
+     | Database.Ok_msg plan -> print_endline plan
+     | _ -> print_endline "(no plan)")
+  | [ ".scripts"; name ] ->
+    (match Database.exec db
+             (Printf.sprintf
+                "SELECT step, purpose, sql FROM _openivm_scripts WHERE \
+                 view_name = '%s' ORDER BY step"
+                name)
+     with
+     | Database.Rows r ->
+       List.iter
+         (fun (row : Row.t) ->
+            Printf.printf "-- step %s (%s)\n%s;\n"
+              (Value.to_string row.(0)) (Value.to_string row.(1))
+              (Value.to_string row.(2)))
+         r.Database.rows
+     | _ -> print_endline "(no scripts)")
+  | [ ".refresh"; name ] ->
+    (match Openivm.Runner.find_view ext name with
+     | Some v ->
+       Openivm.Runner.force_refresh v;
+       print_endline "refreshed"
+     | None -> Printf.printf "no installed view %S\n" name)
+  | _ -> print_endline "unknown command; try .help"
+
+let execute ext sql =
+  match Openivm.Runner.exec_ext ext sql with
+  | `Installed v ->
+    Printf.printf "installed materialized view %s\n"
+      (Openivm.Runner.view_name v)
+  | `Result (Database.Rows r) -> print_endline (Database.render_result r)
+  | `Result (Database.Affected n) -> Printf.printf "%d row(s) affected\n" n
+  | `Result (Database.Ok_msg msg) -> print_endline msg
+
+let () =
+  let db = Database.create () in
+  let ext = Openivm.Runner.load db in
+  print_endline "Minidb shell with the OpenIVM extension. Type .help for help.";
+  let buf = Buffer.create 256 in
+  let interactive = Unix.isatty Unix.stdin in
+  try
+    while true do
+      if interactive then begin
+        if Buffer.length buf = 0 then print_string "minidb> "
+        else print_string "   ...> ";
+        flush stdout
+      end;
+      let line = input_line stdin in
+      let trimmed = String.trim line in
+      if Buffer.length buf = 0 && String.length trimmed > 0 && trimmed.[0] = '.'
+      then handle_dot ext line
+      else begin
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        if String.length trimmed > 0
+           && trimmed.[String.length trimmed - 1] = ';'
+        then begin
+          let sql = Buffer.contents buf in
+          Buffer.clear buf;
+          try execute ext sql with
+          | Error.Sql_error msg -> Printf.printf "error: %s\n" msg
+          | Openivm_sql.Parser.Error (msg, pos) ->
+            Printf.printf "parse error at byte %d: %s\n" pos msg
+          | Openivm_sql.Lexer.Error (msg, pos) ->
+            Printf.printf "lex error at byte %d: %s\n" pos msg
+          | Openivm.Compiler.Unsupported_view reason ->
+            Printf.printf "unsupported view: %s\n" reason
+        end
+      end
+    done
+  with End_of_file -> ()

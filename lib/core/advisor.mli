@@ -1,0 +1,30 @@
+(** Cost-based combine-strategy selection — the paper's announced next
+    step ("cost-based optimization should then make these choices"). A
+    coarse row-count model ranks the three strategies per refresh from the
+    base-table sizes, the view's live group count, the expected delta
+    size, and whether an index can narrow the rederive recompute. *)
+
+open Openivm_engine
+
+type estimate = {
+  strategy : Flags.combine_strategy;
+  cost : float;  (** estimated rows touched per refresh *)
+}
+
+type advice = {
+  recommended : Flags.combine_strategy;
+  estimates : estimate list;  (** candidates, cheapest first *)
+  base_rows : int;
+  live_groups : int;
+  touched_groups : float;     (** expected groups hit per refresh *)
+}
+
+val expected_touched : delta:int -> groups:int -> float
+(** Balls-into-bins expectation of distinct groups a delta touches. *)
+
+val advise : Catalog.t -> Shape.t -> expected_delta:int -> advice
+
+val compile_advised :
+  ?flags:Flags.t -> Catalog.t -> expected_delta:int -> string ->
+  Compiler.t * advice
+(** Compile a CREATE MATERIALIZED VIEW with the advisor's strategy. *)

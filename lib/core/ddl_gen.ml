@@ -1,0 +1,147 @@
+(** DDL generation: delta tables, the view's backing table (plus hidden
+    bookkeeping columns), the delta-view table, the stage table for global
+    aggregates, and indexes. Paper §2: "generates from there the DDL to
+    create delta tables, possibly intermediate tables and index
+    structures". *)
+
+module Ast = Openivm_sql.Ast
+open Openivm_engine
+open Sqlgen
+
+(* Delta capture tables are per (view, base table) so several views over
+   the same base never race on each other's cleanup; paper-compat mode
+   keeps the paper's shared delta_T name (its demo installs one view). *)
+let delta_table_name (flags : Flags.t) ~view base =
+  if flags.Flags.paper_compat then flags.Flags.delta_prefix ^ base
+  else flags.Flags.delta_prefix ^ view ^ "__" ^ base
+
+let delta_view_name (flags : Flags.t) view = flags.Flags.delta_prefix ^ view
+
+(** Running-sum state column type: sums of an INTEGER column stay INTEGER,
+    everything else is DOUBLE. *)
+let sum_state_type (shape : Shape.t) (item : Shape.aggregate_item) : Ast.typ =
+  let schema = Shape.input_schema shape.Shape.source in
+  match item.Shape.arg with
+  | Some arg ->
+    (match Expr.infer_type schema arg with
+     | Ast.T_int -> Ast.T_int
+     | _ -> Ast.T_float)
+  | None -> Ast.T_int
+
+(** CREATE TABLE delta_T: T's columns plus the multiplicity column. *)
+let delta_base_table (flags : Flags.t) ~view (base : Shape.table_ref) : Ast.stmt =
+  let cols =
+    List.map (fun c -> coldef c.Schema.name c.Schema.typ) base.Shape.schema
+  in
+  create_table
+    (delta_table_name flags ~view base.Shape.table)
+    (cols @ [ coldef flags.Flags.multiplicity_column Ast.T_bool ])
+
+(** The view table's full column list: visible columns in projection order,
+    then hidden aggregate state, then the group-size counter. *)
+let view_table_columns (flags : Flags.t) (shape : Shape.t) : Ast.column_def list =
+  let visible =
+    List.map
+      (function
+        | Shape.Group_col { name; typ; _ } -> coldef name typ
+        | Shape.Agg_col a -> coldef a.Shape.visible_name a.Shape.visible_type)
+      shape.Shape.columns
+  in
+  if flags.Flags.paper_compat then visible
+  else begin
+    let state =
+      List.concat_map
+        (fun (a : Shape.aggregate_item) ->
+           let sum_cols =
+             match a.Shape.sum_state with
+             | Some name -> [ coldef name (sum_state_type shape a) ]
+             | None -> []
+           in
+           let nn_cols =
+             match a.Shape.nn_state with
+             | Some name -> [ coldef name Ast.T_int ]
+             | None -> []
+           in
+           sum_cols @ nn_cols)
+        (Shape.aggregates shape)
+    in
+    visible @ state @ [ coldef Shape.count_column Ast.T_int ]
+  end
+
+let view_table (flags : Flags.t) (shape : Shape.t) : Ast.stmt =
+  let primary_key = List.map snd (Shape.group_cols shape) in
+  create_table ~primary_key shape.Shape.view_name
+    (view_table_columns flags shape)
+
+(** delta_V columns: group columns, per-aggregate partial-state columns,
+    the partial group count, and the multiplicity. *)
+let delta_view_columns (flags : Flags.t) (shape : Shape.t) : Ast.column_def list =
+  let groups =
+    List.filter_map
+      (function
+        | Shape.Group_col { name; typ; _ } -> Some (coldef name typ)
+        | Shape.Agg_col _ -> None)
+      shape.Shape.columns
+  in
+  let agg_states =
+    List.concat_map
+      (fun (a : Shape.aggregate_item) ->
+         if flags.Flags.paper_compat then
+           [ coldef a.Shape.visible_name a.Shape.visible_type ]
+         else
+           match a.Shape.agg with
+           | Ast.Sum | Ast.Avg ->
+             [ coldef (Option.get a.Shape.sum_state) (sum_state_type shape a);
+               coldef (Option.get a.Shape.nn_state) Ast.T_int ]
+           | Ast.Count -> [ coldef a.Shape.visible_name Ast.T_int ]
+           | Ast.Min | Ast.Max ->
+             [ coldef a.Shape.visible_name a.Shape.visible_type ])
+      (Shape.aggregates shape)
+  in
+  let counter =
+    if flags.Flags.paper_compat then [] else [ coldef Shape.count_column Ast.T_int ]
+  in
+  groups @ agg_states @ counter
+  @ [ coldef flags.Flags.multiplicity_column Ast.T_bool ]
+
+let delta_view_table (flags : Flags.t) (shape : Shape.t) : Ast.stmt =
+  create_table (delta_view_name flags shape.Shape.view_name)
+    (delta_view_columns flags shape)
+
+(** Stage table used by the global-aggregate combine. *)
+let stage_table_ddl (flags : Flags.t) (shape : Shape.t) : Ast.stmt option =
+  let needs_stage =
+    Shape.is_global shape
+    || ((flags.Flags.strategy = Flags.Union_regroup
+         || flags.Flags.strategy = Flags.Outer_join_merge)
+        && not (Shape.has_min_max shape))
+  in
+  if needs_stage && not flags.Flags.paper_compat then
+    Some (create_table (Shape.stage_table shape) (view_table_columns flags shape))
+  else None
+
+(** Secondary index on the delta-view's group columns ("aggregation allows
+    building an index ... using the GROUP BY columns as keys"). *)
+let index_ddl (flags : Flags.t) (shape : Shape.t) : Ast.stmt list =
+  if not flags.Flags.create_indexes then []
+  else
+    match List.map snd (Shape.group_cols shape) with
+    | [] -> []
+    | keys ->
+      [ Ast.Create_index
+          { index = "__ivm_idx_" ^ shape.Shape.view_name;
+            table = delta_view_name flags shape.Shape.view_name;
+            columns = keys;
+            unique = false } ]
+
+let all (flags : Flags.t) (shape : Shape.t) : Ast.stmt list =
+  let deltas =
+    List.map
+      (delta_base_table flags ~view:shape.Shape.view_name)
+      (Shape.base_tables shape)
+  in
+  let stage = Option.to_list (stage_table_ddl flags shape) in
+  deltas
+  @ [ view_table flags shape; delta_view_table flags shape ]
+  @ stage
+  @ index_ddl flags shape

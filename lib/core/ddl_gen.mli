@@ -1,0 +1,24 @@
+(** DDL generation: per-view delta tables, the view's backing table with
+    hidden bookkeeping columns and group-key PRIMARY KEY, the ΔV table,
+    the global-aggregate stage table, and indexes. *)
+
+module Ast = Openivm_sql.Ast
+
+val delta_table_name : Flags.t -> view:string -> string -> string
+(** [delta_<view>__<table>]; paper-compat keeps the shared
+    [delta_<table>]. *)
+
+val delta_view_name : Flags.t -> string -> string
+
+val view_table_columns : Flags.t -> Shape.t -> Ast.column_def list
+(** Visible columns in projection order, then hidden aggregate state, then
+    the group counter (none of the hidden parts under paper-compat). *)
+
+val delta_view_columns : Flags.t -> Shape.t -> Ast.column_def list
+
+val view_table : Flags.t -> Shape.t -> Ast.stmt
+val delta_view_table : Flags.t -> Shape.t -> Ast.stmt
+val index_ddl : Flags.t -> Shape.t -> Ast.stmt list
+
+val all : Flags.t -> Shape.t -> Ast.stmt list
+(** Everything, in dependency order. *)

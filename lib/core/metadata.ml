@@ -1,0 +1,51 @@
+(** OpenIVM metadata tables: the paper stores each materialized view's
+    "additional properties — query plan, SQL string, query type — in
+    metadata tables", plus the propagation scripts for later inspection. *)
+
+module Ast = Openivm_sql.Ast
+open Sqlgen
+
+let views_table = "_openivm_views"
+let scripts_table = "_openivm_scripts"
+
+let ddl : Ast.stmt list =
+  [ create_table ~if_not_exists:true views_table
+      ~primary_key:[ "view_name" ]
+      [ coldef "view_name" Ast.T_text;
+        coldef "view_sql" Ast.T_text;
+        coldef "query_type" Ast.T_text;
+        coldef "strategy" Ast.T_text;
+        coldef "dialect" Ast.T_text;
+        coldef "group_columns" Ast.T_text;
+        coldef "logical_plan" Ast.T_text ];
+    create_table ~if_not_exists:true scripts_table
+      ~primary_key:[ "view_name"; "step" ]
+      [ coldef "view_name" Ast.T_text;
+        coldef "step" Ast.T_int;
+        coldef "purpose" Ast.T_text;
+        coldef "sql" Ast.T_text ] ]
+
+let register (flags : Flags.t) (shape : Shape.t) ~(view_sql : string)
+    ~(logical_plan : string) ~(scripts : (string * string) list) : Ast.stmt list =
+  let row =
+    [ str_lit shape.Shape.view_name;
+      str_lit view_sql;
+      str_lit (Openivm_sql.Analysis.class_to_string shape.Shape.klass);
+      str_lit (Flags.strategy_to_string flags.Flags.strategy);
+      str_lit flags.Flags.dialect.Openivm_sql.Dialect.name;
+      str_lit (String.concat "," (List.map snd (Shape.group_cols shape)));
+      str_lit logical_plan ]
+  in
+  let script_rows =
+    List.mapi
+      (fun i (purpose, sql) ->
+         [ str_lit shape.Shape.view_name; int_lit i; str_lit purpose; str_lit sql ])
+      scripts
+  in
+  insert views_table (Ast.Values [ row ])
+  :: (if script_rows = [] then []
+      else [ insert scripts_table (Ast.Values script_rows) ])
+
+let unregister (shape_name : string) : Ast.stmt list =
+  [ delete views_table ~where:(eq (col "view_name") (str_lit shape_name));
+    delete scripts_table ~where:(eq (col "view_name") (str_lit shape_name)) ]

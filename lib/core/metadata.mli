@@ -1,0 +1,18 @@
+(** The OpenIVM metadata tables ([_openivm_views], [_openivm_scripts]):
+    each view's defining SQL, query class, strategy, dialect, group
+    columns and logical plan, plus the propagation script steps "to allow
+    future inspection and usage" (paper §2). *)
+
+module Ast = Openivm_sql.Ast
+
+val views_table : string
+val scripts_table : string
+
+val ddl : Ast.stmt list
+(** CREATE TABLE IF NOT EXISTS for both tables. *)
+
+val register :
+  Flags.t -> Shape.t -> view_sql:string -> logical_plan:string ->
+  scripts:(string * string) list -> Ast.stmt list
+
+val unregister : string -> Ast.stmt list

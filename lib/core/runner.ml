@@ -1,0 +1,189 @@
+(** The extension module: OpenIVM inside the engine (paper Figure 2).
+
+    [install] executes the compiled DDL, performs the initial load, stores
+    the propagation script (in the metadata tables and optionally on disk),
+    and registers capture hooks on the base tables — the embedded
+    equivalent of DuckDB's optimizer-rule DML interception. Under [Eager]
+    refresh every base-table change propagates immediately; under [Lazy]
+    (the demo's choice) deltas accumulate until the view is queried or
+    [refresh] is called. *)
+
+module Ast = Openivm_sql.Ast
+open Openivm_engine
+
+type view = {
+  compiled : Compiler.t;
+  db : Database.t;
+  mutable pending_deltas : int;   (** delta rows captured since last refresh *)
+  mutable refresh_count : int;
+  mutable refresh_time : float;   (** total seconds spent propagating *)
+  mutable capture_enabled : bool;
+}
+
+let view_name v = v.compiled.Compiler.shape.Shape.view_name
+
+let exec_stmts db stmts =
+  List.iter (fun stmt -> ignore (Database.exec_stmt db stmt)) stmts
+
+(* --- delta capture --- *)
+
+(** Append changed rows into delta_T with the boolean multiplicity. Runs
+    with hooks disabled so IVM's own writes never re-trigger capture. *)
+let capture v (base_table : string) (change : Trigger.change) =
+  if v.capture_enabled then begin
+    let delta_name = Compiler.delta_table v.compiled base_table in
+    let delta = Catalog.find_table (Database.catalog v.db) delta_name in
+    Trigger.without_hooks (Database.triggers v.db) (fun () ->
+        let emit mult row =
+          Table.insert delta (Array.append row [| Value.Bool mult |]);
+          v.pending_deltas <- v.pending_deltas + 1
+        in
+        List.iter (emit false) change.Trigger.deleted;
+        List.iter (emit true) change.Trigger.inserted)
+  end
+
+(* --- refresh --- *)
+
+let force_refresh v =
+  let t0 = Unix.gettimeofday () in
+  Trigger.without_hooks (Database.triggers v.db) (fun () ->
+      exec_stmts v.db (Propagate.all_statements v.compiled.Compiler.script));
+  v.pending_deltas <- 0;
+  v.refresh_count <- v.refresh_count + 1;
+  v.refresh_time <- v.refresh_time +. (Unix.gettimeofday () -. t0)
+
+let refresh v =
+  if v.pending_deltas > 0
+     || v.compiled.Compiler.script.Propagate.kind = Propagate.Full
+  then force_refresh v
+
+(** Query the view, honoring the refresh mode (lazy refresh-on-read). *)
+let query v (sql : string) : Database.query_result =
+  (match v.compiled.Compiler.flags.Flags.refresh with
+   | Flags.Lazy -> refresh v
+   | Flags.Eager -> ());
+  Database.query v.db sql
+
+let contents ?(order_by = "") v : Database.query_result =
+  let suffix = if order_by = "" then "" else " ORDER BY " ^ order_by in
+  query v (Printf.sprintf "SELECT * FROM %s%s" (view_name v) suffix)
+
+(* --- installation --- *)
+
+let store_scripts_on_disk (compiled : Compiler.t) =
+  match compiled.Compiler.flags.Flags.script_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path =
+      Filename.concat dir (compiled.Compiler.shape.Shape.view_name ^ ".sql")
+    in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Compiler.full_sql compiled))
+
+let install ?(flags = Flags.default) (db : Database.t) (sql : string) : view =
+  let compiled = Compiler.compile ~flags (Database.catalog db) sql in
+  exec_stmts db compiled.Compiler.ddl;
+  exec_stmts db compiled.Compiler.metadata_ddl;
+  exec_stmts db compiled.Compiler.metadata_dml;
+  (* initial load must not be captured as a delta *)
+  Trigger.without_hooks (Database.triggers db) (fun () ->
+      exec_stmts db [ compiled.Compiler.initial_load ]);
+  store_scripts_on_disk compiled;
+  let v =
+    { compiled; db; pending_deltas = 0; refresh_count = 0;
+      refresh_time = 0.0; capture_enabled = true }
+  in
+  List.iter
+    (fun base ->
+       Trigger.register (Database.triggers db) ~table:base
+         ~name:(Printf.sprintf "openivm_%s_%s" (view_name v) base)
+         (fun change ->
+            capture v base change;
+            match compiled.Compiler.flags.Flags.refresh with
+            | Flags.Eager -> refresh v
+            | Flags.Lazy -> ()))
+    (Compiler.base_tables compiled);
+  v
+
+let uninstall v =
+  let db = v.db in
+  v.capture_enabled <- false;
+  List.iter
+    (fun base ->
+       Trigger.unregister (Database.triggers db)
+         ~name:(Printf.sprintf "openivm_%s_%s" (view_name v) base))
+    (Compiler.base_tables v.compiled);
+  exec_stmts db (Metadata.unregister (view_name v));
+  let drop name =
+    ignore
+      (Database.exec_stmt db
+         (Ast.Drop { kind = `Table; name; if_exists = true }))
+  in
+  drop (view_name v);
+  drop (Compiler.delta_view v.compiled);
+  List.iter
+    (fun b -> drop (Compiler.delta_table v.compiled b))
+    (Compiler.base_tables v.compiled)
+
+(* --- the extension entry point --- *)
+
+(** The loaded extension: a database plus the registry of views it
+    maintains (paper Figure 2). *)
+type extension = {
+  ext_db : Database.t;
+  ext_flags : Flags.t;
+  mutable ext_views : view list;
+}
+
+let load ?(flags = Flags.default) (db : Database.t) : extension =
+  { ext_db = db; ext_flags = flags; ext_views = [] }
+
+let find_view ext name =
+  List.find_opt (fun v -> String.equal (view_name v) name) ext.ext_views
+
+(** Refresh every lazily-maintained view a query touches — the engine-side
+    counterpart of the paper's "implicitly calling a table function,
+    adding a dummy node to the plan of the original query". *)
+let refresh_for_query ext (q : Ast.select) =
+  let touched = Ast.select_tables q in
+  List.iter
+    (fun v ->
+       if v.compiled.Compiler.flags.Flags.refresh = Flags.Lazy
+          && List.mem (view_name v) touched
+       then refresh v)
+    ext.ext_views
+
+(** Execute a statement with the OpenIVM extension active: the fall-back
+    parser path of the paper — [CREATE MATERIALIZED VIEW] is intercepted
+    and compiled; SELECTs over maintained views refresh them first;
+    everything else goes to the engine untouched. *)
+let exec_ext (ext : extension) (sql : string) :
+  [ `Result of Database.exec_result | `Installed of view ] =
+  match Openivm_sql.Parser.parse_statement sql with
+  | Ast.Create_view { materialized = true; _ } ->
+    let v = install ~flags:ext.ext_flags ext.ext_db sql in
+    ext.ext_views <- v :: ext.ext_views;
+    `Installed v
+  | Ast.Select_stmt q as stmt ->
+    refresh_for_query ext q;
+    `Result (Database.exec_stmt ext.ext_db stmt)
+  | Ast.Drop { kind = `Table; name; _ } when find_view ext name <> None ->
+    (match find_view ext name with
+     | Some v ->
+       uninstall v;
+       ext.ext_views <-
+         List.filter (fun w -> not (String.equal (view_name w) name)) ext.ext_views;
+       `Result (Database.Ok_msg (Printf.sprintf "dropped materialized view %s" name))
+     | None -> assert false)
+  | stmt -> `Result (Database.exec_stmt ext.ext_db stmt)
+
+(** One-shot variant when no extension state is at hand. *)
+let exec ?(flags = Flags.default) (db : Database.t) (sql : string) :
+  [ `Result of Database.exec_result | `Installed of view ] =
+  match Openivm_sql.Parser.parse_statement sql with
+  | Ast.Create_view { materialized = true; _ } ->
+    `Installed (install ~flags db sql)
+  | stmt -> `Result (Database.exec_stmt db stmt)

@@ -1,0 +1,63 @@
+(** The extension module: OpenIVM inside the engine (paper Figure 2).
+
+    [install] executes the compiled DDL, performs the initial load, stores
+    the propagation scripts (metadata tables, optionally on disk) and
+    registers capture hooks on the base tables. Refresh policy follows
+    {!Flags.refresh_mode}: [Eager] propagates per change, [Lazy] (the
+    demo's choice) on read. *)
+
+open Openivm_engine
+
+type view = {
+  compiled : Compiler.t;
+  db : Database.t;
+  mutable pending_deltas : int;
+  mutable refresh_count : int;
+  mutable refresh_time : float;   (** total seconds spent propagating *)
+  mutable capture_enabled : bool;
+}
+
+val view_name : view -> string
+
+val install : ?flags:Flags.t -> Database.t -> string -> view
+(** Compile and install a [CREATE MATERIALIZED VIEW] statement. *)
+
+val uninstall : view -> unit
+(** Unregister capture, drop the view's tables, clear its metadata. *)
+
+val refresh : view -> unit
+(** Run the propagation script if deltas are pending. *)
+
+val force_refresh : view -> unit
+(** Run the propagation script unconditionally. *)
+
+val query : view -> string -> Database.query_result
+(** Query through the view's refresh policy (lazy refresh-on-read). *)
+
+val contents : ?order_by:string -> view -> Database.query_result
+(** [SELECT * FROM view]. *)
+
+(** {1 The extension entry point} *)
+
+type extension = {
+  ext_db : Database.t;
+  ext_flags : Flags.t;
+  mutable ext_views : view list;
+}
+
+val load : ?flags:Flags.t -> Database.t -> extension
+
+val find_view : extension -> string -> view option
+
+val exec_ext :
+  extension -> string ->
+  [ `Result of Database.exec_result | `Installed of view ]
+(** Execute with the extension active: [CREATE MATERIALIZED VIEW] is
+    intercepted and compiled; SELECTs over maintained views refresh them
+    first; [DROP TABLE v] on a maintained view uninstalls it; everything
+    else passes through. *)
+
+val exec :
+  ?flags:Flags.t -> Database.t -> string ->
+  [ `Result of Database.exec_result | `Installed of view ]
+(** One-shot variant without extension state (no query interception). *)

@@ -1,0 +1,258 @@
+(** Normalized description of an IVM-maintainable view definition.
+
+    [analyze] validates a view query against the supported classes
+    (single-table projection / filter / grouped aggregation, and their
+    two-table-join counterparts — the paper's scope plus its announced
+    MIN/MAX and JOIN extensions) and lowers it into the shape the DDL and
+    propagation generators consume. *)
+
+module Ast = Openivm_sql.Ast
+module Analysis = Openivm_sql.Analysis
+open Openivm_engine
+
+type aggregate_item = {
+  agg : Ast.agg;
+  arg : Ast.expr option;       (** None = COUNT star *)
+  visible_name : string;       (** the view's output column *)
+  visible_type : Ast.typ;
+  sum_state : string option;   (** hidden running-sum column (SUM/AVG) *)
+  nn_state : string option;    (** hidden non-null-count column (SUM/AVG) *)
+}
+
+type column_spec =
+  | Group_col of { expr : Ast.expr; name : string; typ : Ast.typ }
+  | Agg_col of aggregate_item
+
+type table_ref = {
+  table : string;
+  binding : string;  (** alias used in the view query ("t" if none) *)
+  schema : Schema.t;
+}
+
+type source =
+  | Single of table_ref
+  | Joined of {
+      tables : table_ref list;     (** two or more, in FROM order *)
+      condition : Ast.expr option; (** all ON conditions, conjoined *)
+    }
+
+type t = {
+  view_name : string;
+  query : Ast.select;
+  klass : Analysis.query_class;
+  columns : column_spec list;  (** in projection order *)
+  source : source;
+  where : Ast.expr option;
+}
+
+let count_column = "__ivm_count"
+let stage_table shape = "__ivm_stage_" ^ shape.view_name
+let null_marker = "\x01<null>"
+let key_separator = "\x1f"
+
+let group_cols shape =
+  List.filter_map
+    (function
+      | Group_col g -> Some (g.expr, g.name)
+      | Agg_col _ -> None)
+    shape.columns
+
+let aggregates shape =
+  List.filter_map
+    (function Agg_col a -> Some a | Group_col _ -> None)
+    shape.columns
+
+let has_aggregates shape = aggregates shape <> []
+
+let has_min_max shape =
+  List.exists
+    (fun a -> a.agg = Ast.Min || a.agg = Ast.Max)
+    (aggregates shape)
+
+(** Global aggregate: SELECT SUM(x) FROM t — aggregates without grouping. *)
+let is_global shape = has_aggregates shape && group_cols shape = []
+
+let visible_names shape =
+  List.map
+    (function Group_col g -> g.name | Agg_col a -> a.visible_name)
+    shape.columns
+
+let base_tables shape =
+  match shape.source with
+  | Single t -> [ t ]
+  | Joined { tables; _ } -> tables
+
+(* --- analysis --- *)
+
+let table_ref_of catalog name alias : table_ref =
+  let tbl = Catalog.find_table catalog name in
+  { table = name;
+    binding = Option.value alias ~default:name;
+    schema = Schema.requalify tbl.Table.schema (Option.value alias ~default:name) }
+
+(* the DBSP inclusion–exclusion rewrite emits 2^N - 1 fill terms; cap N
+   so a typo cannot explode the script *)
+let max_join_tables = 4
+
+let source_of catalog (f : Ast.from_clause) : (source, string) result =
+  (* flatten a tree of inner/cross joins over base tables *)
+  let rec flatten f : (table_ref list * Ast.expr list, string) result =
+    match f with
+    | Ast.Table_ref (name, alias) ->
+      Ok ([ table_ref_of catalog name alias ], [])
+    | Ast.Join (l, (Ast.Inner | Ast.Cross), r, cond) ->
+      Result.bind (flatten l) (fun (lt, lc) ->
+          Result.bind (flatten r) (fun (rt, rc) ->
+              Ok (lt @ rt, lc @ rc @ Option.to_list cond)))
+    | Ast.Join (_, (Ast.Left_outer | Ast.Right_outer | Ast.Full_outer), _, _) ->
+      Error "outer joins are not supported for IVM"
+    | Ast.Subquery _ -> Error "derived tables are not supported for IVM"
+  in
+  match f with
+  | Ast.Table_ref (name, alias) -> Ok (Single (table_ref_of catalog name alias))
+  | _ ->
+    Result.bind (flatten f) (fun (tables, conditions) ->
+        if List.length tables > max_join_tables then
+          Error
+            (Printf.sprintf "joins of more than %d tables are not supported"
+               max_join_tables)
+        else begin
+          let condition =
+            match conditions with
+            | [] -> None
+            | c :: rest ->
+              Some
+                (List.fold_left
+                   (fun acc x -> Ast.Binary (Ast.And, acc, x))
+                   c rest)
+          in
+          Ok (Joined { tables; condition })
+        end)
+
+let input_schema source =
+  match source with
+  | Single t -> t.schema
+  | Joined { tables; _ } ->
+    List.concat_map (fun t -> t.schema) tables
+
+(** The hidden state columns an aggregate needs under the linear strategy. *)
+let state_columns_for ~visible_name (agg : Ast.agg) =
+  match agg with
+  | Ast.Sum | Ast.Avg ->
+    (Some ("__ivm_sum_" ^ visible_name), Some ("__ivm_nn_" ^ visible_name))
+  | Ast.Count | Ast.Min | Ast.Max -> (None, None)
+
+let analyze (catalog : Catalog.t) ~(view_name : string) (query : Ast.select) :
+  (t, string) result =
+  let ( let* ) = Result.bind in
+  let klass = Analysis.classify query in
+  let* () =
+    match klass with
+    | Analysis.Unsupported reason -> Error reason
+    | _ when query.Ast.order_by <> [] -> Error "ORDER BY in view definition"
+    | _ when query.Ast.having <> None ->
+      Error "HAVING is not supported for IVM views"
+    | _ -> Ok ()
+  in
+  let* source =
+    match query.Ast.from with
+    | Some f -> source_of catalog f
+    | None -> Error "view without FROM clause"
+  in
+  let schema = input_schema source in
+  let infer e = Expr.infer_type schema e in
+  let aggregated = Ast.select_has_aggregate query in
+  (* name projections like the engine planner does *)
+  let named =
+    List.mapi
+      (fun i (e, alias) -> (e, Analysis.projection_name i (e, alias)))
+      query.Ast.projections
+  in
+  let* () =
+    if List.exists (fun (e, _) -> e = Ast.Star || e = Ast.Column (None, "*")) named
+       && aggregated
+    then Error "star projections cannot be mixed with aggregates"
+    else Ok ()
+  in
+  (* expand stars for flat views *)
+  let named =
+    List.concat_map
+      (fun (e, name) ->
+         match e with
+         | Ast.Star | Ast.Column (None, "*") ->
+           List.map
+             (fun c -> (Ast.Column (c.Schema.table, c.Schema.name), c.Schema.name))
+             schema
+         | Ast.Column (Some q, "*") ->
+           List.filter_map
+             (fun c ->
+                if c.Schema.table = Some q then
+                  Some (Ast.Column (c.Schema.table, c.Schema.name), c.Schema.name)
+                else None)
+             schema
+         | _ -> [ (e, name) ])
+      named
+  in
+  let* columns =
+    if not aggregated then
+      (* flat view: every projection becomes a grouping column *)
+      Ok
+        (List.map
+           (fun (e, name) -> Group_col { expr = e; name; typ = infer e })
+           named)
+    else begin
+      (* aggregate view: every projection is a GROUP BY expression or a
+         bare aggregate *)
+      let in_group e = List.exists (fun g -> g = e) query.Ast.group_by in
+      let rec build acc = function
+        | [] -> Ok (List.rev acc)
+        | (e, name) :: rest ->
+          (match e with
+           | Ast.Aggregate (agg, distinct, arg) ->
+             if distinct then Error "DISTINCT aggregates are not supported"
+             else begin
+               let sum_state, nn_state = state_columns_for ~visible_name:name agg in
+               let item =
+                 { agg; arg; visible_name = name; visible_type = infer e;
+                   sum_state; nn_state }
+               in
+               build (Agg_col item :: acc) rest
+             end
+           | _ when in_group e ->
+             build (Group_col { expr = e; name; typ = infer e } :: acc) rest
+           | _ ->
+             Error
+               (Printf.sprintf
+                  "projection %s is neither a GROUP BY expression nor a bare \
+                   aggregate"
+                  (Openivm_sql.Pretty.expr_to_sql Openivm_sql.Dialect.duckdb e)))
+      in
+      let* cols = build [] named in
+      (* every GROUP BY expression must be projected, so the view rows are
+         keyed by the full group *)
+      let projected_groups =
+        List.filter_map
+          (function Group_col g -> Some g.expr | Agg_col _ -> None)
+          cols
+      in
+      let* () =
+        if List.for_all (fun g -> List.mem g projected_groups) query.Ast.group_by
+        then Ok ()
+        else Error "every GROUP BY expression must appear in the select list"
+      in
+      Ok cols
+    end
+  in
+  (* reject duplicate output names (the view table could not be created) *)
+  let names = List.map (function Group_col g -> g.name | Agg_col a -> a.visible_name) columns in
+  let* () =
+    let sorted = List.sort String.compare names in
+    let rec dup = function
+      | a :: (b :: _ as rest) -> if String.equal a b then Some a else dup rest
+      | _ -> None
+    in
+    match dup sorted with
+    | Some name -> Error (Printf.sprintf "duplicate output column %S" name)
+    | None -> Ok ()
+  in
+  Ok { view_name; query; klass; columns; source; where = query.Ast.where }

@@ -1,0 +1,50 @@
+(** Delta-capture trigger DDL for external systems.
+
+    In the cross-system deployment the paper leaves change capture "to the
+    user — for PostgreSQL ... users are required to configure these
+    triggers independently". This module generates that boilerplate: a
+    plpgsql function + row trigger per base table appending OLD/NEW images
+    with the boolean multiplicity into the delta table. The strings are
+    artifacts for an external PostgreSQL; the embedded engine uses
+    [Openivm_engine.Trigger] hooks instead. *)
+
+open Openivm_engine
+
+let capture_function (flags : Flags.t) ~view (base : Shape.table_ref) : string =
+  let t = base.Shape.table in
+  let delta = Ddl_gen.delta_table_name flags ~view t in
+  let cols = Schema.names base.Shape.schema in
+  let row_of prefix =
+    String.concat ", " (List.map (fun c -> prefix ^ "." ^ c) cols)
+  in
+  Printf.sprintf
+    "CREATE OR REPLACE FUNCTION openivm_capture_%s() RETURNS TRIGGER AS $$\n\
+     BEGIN\n\
+    \  IF (TG_OP = 'INSERT') THEN\n\
+    \    INSERT INTO %s VALUES (%s, TRUE);\n\
+    \  ELSIF (TG_OP = 'DELETE') THEN\n\
+    \    INSERT INTO %s VALUES (%s, FALSE);\n\
+    \  ELSIF (TG_OP = 'UPDATE') THEN\n\
+    \    INSERT INTO %s VALUES (%s, FALSE);\n\
+    \    INSERT INTO %s VALUES (%s, TRUE);\n\
+    \  END IF;\n\
+    \  RETURN NULL;\n\
+     END $$ LANGUAGE plpgsql;"
+    t delta (row_of "NEW") delta (row_of "OLD") delta (row_of "OLD") delta
+    (row_of "NEW")
+
+let capture_trigger (base : Shape.table_ref) : string =
+  let t = base.Shape.table in
+  Printf.sprintf
+    "CREATE TRIGGER openivm_%s_capture AFTER INSERT OR UPDATE OR DELETE ON %s\n\
+     FOR EACH ROW EXECUTE FUNCTION openivm_capture_%s();"
+    t t t
+
+(** (table, DDL text) per base table. *)
+let all (flags : Flags.t) (shape : Shape.t) : (string * string) list =
+  List.map
+    (fun base ->
+       ( base.Shape.table,
+         capture_function flags ~view:shape.Shape.view_name base ^ "\n"
+         ^ capture_trigger base ))
+    (Shape.base_tables shape)

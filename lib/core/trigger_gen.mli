@@ -1,0 +1,10 @@
+(** Delta-capture trigger DDL for an external PostgreSQL — the
+    user-configured capture side of cross-system IVM (paper §2). The
+    strings are deployment artifacts; the embedded engine uses
+    {!Openivm_engine.Trigger} hooks instead. *)
+
+val capture_function : Flags.t -> view:string -> Shape.table_ref -> string
+val capture_trigger : Shape.table_ref -> string
+
+val all : Flags.t -> Shape.t -> (string * string) list
+(** (base table, trigger DDL text) per base table. *)

@@ -1,0 +1,174 @@
+(** Incremental grouped aggregation over Z-set deltas with retraction
+    support.
+
+    State per group: COUNT/SUM are weight-linear and keep running numbers;
+    MIN/MAX are *not* linear under deletions, so a per-group multiset
+    (value -> multiplicity map) is kept — the executable counterpart of the
+    per-group re-derivation the compiled SQL performs for MIN/MAX views. *)
+
+open Openivm_engine
+
+module Value_map = Map.Make (struct
+    type t = Value.t
+    let compare = Value.compare
+  end)
+
+type spec =
+  | Count_star
+  | Count of (Row.t -> Value.t)
+  | Sum of (Row.t -> Value.t)
+  | Min of (Row.t -> Value.t)
+  | Max of (Row.t -> Value.t)
+  | Avg of (Row.t -> Value.t)
+
+type agg_state =
+  | Linear of { mutable count : int; mutable sum_f : float; mutable sum_i : int;
+                mutable float_mode : bool }
+  | Multiset of { mutable values : int Value_map.t }
+
+type group_state = {
+  mutable total_weight : int;  (** weight of all rows in the group *)
+  states : agg_state array;
+}
+
+type t = {
+  key_of : Row.t -> Row.t;
+  specs : spec array;
+  groups : group_state Row.Tbl.t;
+}
+
+let create ~(key_of : Row.t -> Row.t) ~(specs : spec list) : t =
+  { key_of; specs = Array.of_list specs; groups = Row.Tbl.create 64 }
+
+let make_state = function
+  | Count_star | Count _ | Sum _ | Avg _ ->
+    Linear { count = 0; sum_f = 0.0; sum_i = 0; float_mode = false }
+  | Min _ | Max _ -> Multiset { values = Value_map.empty }
+
+let arg_of spec row : Value.t option =
+  match spec with
+  | Count_star -> None
+  | Count f | Sum f | Min f | Max f | Avg f -> Some (f row)
+
+let update_agg spec st (v : Value.t option) (w : int) =
+  match st, spec, v with
+  | Linear l, Count_star, None -> l.count <- l.count + w
+  | Linear l, Count _, Some v ->
+    if not (Value.is_null v) then l.count <- l.count + w
+  | Linear l, (Sum _ | Avg _), Some v ->
+    (match v with
+     | Value.Null -> ()
+     | Value.Int i ->
+       l.count <- l.count + w;
+       if l.float_mode then l.sum_f <- l.sum_f +. float_of_int (w * i)
+       else l.sum_i <- l.sum_i + (w * i)
+     | Value.Float f ->
+       l.count <- l.count + w;
+       if not l.float_mode then begin
+         l.float_mode <- true;
+         l.sum_f <- float_of_int l.sum_i
+       end;
+       l.sum_f <- l.sum_f +. (float_of_int w *. f)
+     | _ -> Error.fail "SUM/AVG over non-numeric value")
+  | Multiset m, (Min _ | Max _), Some v ->
+    if not (Value.is_null v) then begin
+      let current = Option.value (Value_map.find_opt v m.values) ~default:0 in
+      let updated = current + w in
+      m.values <-
+        (if updated = 0 then Value_map.remove v m.values
+         else Value_map.add v updated m.values)
+    end
+  | _ -> Error.fail "aggregate/state mismatch"
+
+let finalize_agg spec st : Value.t =
+  match st, spec with
+  | Linear l, (Count_star | Count _) -> Value.Int l.count
+  | Linear l, Sum _ ->
+    if l.count = 0 then Value.Null
+    else if l.float_mode then Value.Float l.sum_f
+    else Value.Int l.sum_i
+  | Linear l, Avg _ ->
+    if l.count = 0 then Value.Null
+    else
+      let total = if l.float_mode then l.sum_f else float_of_int l.sum_i in
+      Value.Float (total /. float_of_int l.count)
+  | Multiset m, Min _ ->
+    (match Value_map.min_binding_opt m.values with
+     | Some (v, _) -> v
+     | None -> Value.Null)
+  | Multiset m, Max _ ->
+    (match Value_map.max_binding_opt m.values with
+     | Some (v, _) -> v
+     | None -> Value.Null)
+  | _ -> Error.fail "aggregate/state mismatch"
+
+let output_row key (g : group_state) (specs : spec array) : Row.t =
+  Array.append key (Array.mapi (fun i st -> finalize_agg specs.(i) st) g.states)
+
+(** Apply a delta; returns the delta of the aggregate's output Z-set
+    (old group rows retracted with weight -1, new ones asserted with +1). *)
+let step (t : t) (delta : Zset.t) : Zset.t =
+  (* collect old output rows of the groups this delta touches *)
+  let touched : Row.t list Row.Tbl.t = Row.Tbl.create 16 in
+  let old_outputs : (Row.t * Row.t option) list ref = ref [] in
+  Zset.iter
+    (fun row _ ->
+       let key = t.key_of row in
+       if not (Row.Tbl.mem touched key) then begin
+         Row.Tbl.replace touched key [];
+         let old_out =
+           match Row.Tbl.find_opt t.groups key with
+           | Some g when g.total_weight > 0 -> Some (output_row key g t.specs)
+           | _ -> None
+         in
+         old_outputs := (key, old_out) :: !old_outputs
+       end)
+    delta;
+  (* apply the delta to group states *)
+  Zset.iter
+    (fun row w ->
+       let key = t.key_of row in
+       let g =
+         match Row.Tbl.find_opt t.groups key with
+         | Some g -> g
+         | None ->
+           let g =
+             { total_weight = 0;
+               states = Array.map make_state t.specs }
+           in
+           Row.Tbl.replace t.groups key g;
+           g
+       in
+       g.total_weight <- g.total_weight + w;
+       Array.iteri
+         (fun i spec -> update_agg spec g.states.(i) (arg_of spec row) w)
+         t.specs)
+    delta;
+  (* emit output delta *)
+  let out = Zset.create () in
+  List.iter
+    (fun (key, old_out) ->
+       let new_out =
+         match Row.Tbl.find_opt t.groups key with
+         | Some g when g.total_weight > 0 -> Some (output_row key g t.specs)
+         | Some g ->
+           if g.total_weight = 0 then Row.Tbl.remove t.groups key;
+           None
+         | None -> None
+       in
+       (match old_out, new_out with
+        | Some o, Some n when Row.equal o n -> ()
+        | _ ->
+          (match old_out with Some o -> Zset.add out o (-1) | None -> ());
+          (match new_out with Some n -> Zset.add out n 1 | None -> ())))
+    !old_outputs;
+  out
+
+(** Current full output (for checks). *)
+let snapshot (t : t) : Zset.t =
+  let out = Zset.create () in
+  Row.Tbl.iter
+    (fun key g ->
+       if g.total_weight > 0 then Zset.add out (output_row key g t.specs) 1)
+    t.groups;
+  out

@@ -1,0 +1,25 @@
+(** Incremental grouped aggregation over Z-set deltas with retraction
+    support. COUNT/SUM/AVG are weight-linear; MIN/MAX keep a per-group
+    value multiset so deletions of the current extremum are exact. *)
+
+open Openivm_engine
+
+type spec =
+  | Count_star
+  | Count of (Row.t -> Value.t)
+  | Sum of (Row.t -> Value.t)
+  | Min of (Row.t -> Value.t)
+  | Max of (Row.t -> Value.t)
+  | Avg of (Row.t -> Value.t)
+
+type t
+
+val create : key_of:(Row.t -> Row.t) -> specs:spec list -> t
+
+val step : t -> Zset.t -> Zset.t
+(** Apply an input delta; returns the output delta (old group rows with
+    weight −1, new group rows with +1). A group exists while its total
+    row weight is positive. *)
+
+val snapshot : t -> Zset.t
+(** Current full output. *)

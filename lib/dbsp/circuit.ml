@@ -1,0 +1,186 @@
+(** Compile a logical plan into an incremental circuit: a stateful function
+    from per-table input deltas to the view's output delta.
+
+    This is the executable embodiment of DBSP's incrementalization theorem
+    and serves two purposes in the reproduction: (i) it grounds the SQL
+    rewrite rules of the OpenIVM compiler (each template corresponds to an
+    operator here), and (ii) it is an independent *oracle* — property tests
+    check that compiled-SQL propagation, this circuit, and full
+    recomputation agree on random workloads. *)
+
+open Openivm_engine
+
+module String_map = Map.Make (String)
+
+type inputs = Zset.t String_map.t
+
+type t = {
+  step : inputs -> Zset.t;
+  tables : string list;  (** base tables the circuit listens to *)
+}
+
+let empty_zset = Zset.create ()
+
+let input_delta (inputs : inputs) table =
+  match String_map.find_opt table inputs with
+  | Some z -> z
+  | None -> empty_zset
+
+let compile_projection schema projections : Row.t -> Row.t =
+  let compiled =
+    Array.of_list (List.map (fun (e, _) -> Expr.compile schema e) projections)
+  in
+  fun row -> Array.map (fun c -> c row) compiled
+
+let spec_of_agg schema (a : Plan.agg_spec) : Aggregate.spec =
+  let arg f = Expr.compile schema f in
+  if a.Plan.distinct then
+    Error.fail "DISTINCT aggregates are not supported incrementally";
+  match a.Plan.agg, a.Plan.arg with
+  | Sql.Ast.Count, None -> Aggregate.Count_star
+  | Sql.Ast.Count, Some e -> Aggregate.Count (arg e)
+  | Sql.Ast.Sum, Some e -> Aggregate.Sum (arg e)
+  | Sql.Ast.Min, Some e -> Aggregate.Min (arg e)
+  | Sql.Ast.Max, Some e -> Aggregate.Max (arg e)
+  | Sql.Ast.Avg, Some e -> Aggregate.Avg (arg e)
+  | (Sql.Ast.Sum | Sql.Ast.Min | Sql.Ast.Max | Sql.Ast.Avg), None ->
+    Error.fail "only COUNT accepts *"
+
+let rec compile_node ~lookup (plan : Plan.t) : inputs -> Zset.t =
+  let schema_of p = Plan.schema_of ~lookup p in
+  match plan with
+  | Plan.Scan { table; _ } -> fun inputs -> input_delta inputs table
+  | Plan.Index_scan _ ->
+    (* index lookups make no sense over delta streams; circuits are
+       compiled from unoptimized plans, which never contain them *)
+    Error.fail "internal: Index_scan reached the circuit compiler"
+  | Plan.Filter { input; predicate } ->
+    let step = compile_node ~lookup input in
+    let c = Expr.compile (schema_of input) predicate in
+    let op = Operator.filter (fun row -> Expr.is_true (c row)) in
+    fun inputs -> op (step inputs)
+  | Plan.Project { input; projections; _ } ->
+    let step = compile_node ~lookup input in
+    let op = Operator.map (compile_projection (schema_of input) projections) in
+    fun inputs -> op (step inputs)
+  | Plan.Join { left; right; kind; condition } ->
+    (match kind with
+     | Sql.Ast.Inner | Sql.Ast.Cross -> ()
+     | Sql.Ast.Left_outer | Sql.Ast.Right_outer | Sql.Ast.Full_outer ->
+       Error.fail "outer joins are not supported incrementally");
+    let lstep = compile_node ~lookup left in
+    let rstep = compile_node ~lookup right in
+    let ls = schema_of left and rs = schema_of right in
+    let keys, residual = Exec.split_join_condition ls rs condition in
+    let lkeys =
+      List.map (fun k -> Expr.compile ls k.Exec.left_expr) keys
+    in
+    let rkeys =
+      List.map (fun k -> Expr.compile rs k.Exec.right_expr) keys
+    in
+    let strict =
+      Array.of_list (List.map (fun k -> not k.Exec.nullsafe) keys)
+    in
+    let key_of compiled row : Row.t =
+      Array.of_list (List.map (fun c -> c row) compiled)
+    in
+    (* SQL semantics: NULL join keys never match (unless NULL-safe); encode
+       offending NULLs with per-side sentinels so they cannot meet *)
+    let sentinel tag (k : Row.t) : Row.t =
+      let bad = ref false in
+      Array.iteri
+        (fun i v -> if strict.(i) && Value.is_null v then bad := true)
+        k;
+      if !bad then [| Value.Str tag |] else k
+    in
+    let join_op =
+      Operator.join
+        ~left_key:(fun row -> sentinel "\x00L" (key_of lkeys row))
+        ~right_key:(fun row -> sentinel "\x00R" (key_of rkeys row))
+        ~output:Row.concat
+    in
+    let post =
+      match residual with
+      | [] -> fun z -> z
+      | cs ->
+        let joined_schema = Schema.join ls rs in
+        let c = Expr.compile joined_schema (Optimizer.conjoin cs) in
+        Operator.filter (fun row -> Expr.is_true (c row))
+    in
+    fun inputs -> post (join_op (lstep inputs) (rstep inputs))
+  | Plan.Aggregate { input; group_exprs; aggs } ->
+    let step = compile_node ~lookup input in
+    let schema = schema_of input in
+    let group_compiled =
+      Array.of_list (List.map (fun (e, _) -> Expr.compile schema e) group_exprs)
+    in
+    let key_of row = Array.map (fun c -> c row) group_compiled in
+    let specs = List.map (spec_of_agg schema) aggs in
+    let op = Operator.aggregate ~key_of ~specs in
+    (* a global aggregate (no GROUP BY) over an empty table yields one row
+       in SQL but an empty Z-set here; the runner special-cases it *)
+    fun inputs -> op (step inputs)
+  | Plan.Distinct input ->
+    let step = compile_node ~lookup input in
+    let op = Operator.distinct () in
+    fun inputs -> op (step inputs)
+  | Plan.Sort { input; _ } | Plan.Limit { input; limit = None; offset = None; _ } ->
+    (* ordering is irrelevant in Z-set semantics *)
+    compile_node ~lookup input
+  | Plan.Limit _ -> Error.fail "LIMIT views are not supported incrementally"
+  | Plan.Set_op { op = Sql.Ast.Union_all; left; right } ->
+    let l = compile_node ~lookup left and r = compile_node ~lookup right in
+    fun inputs -> Operator.union (l inputs) (r inputs)
+  | Plan.Set_op { op = Sql.Ast.Union; left; right } ->
+    let l = compile_node ~lookup left and r = compile_node ~lookup right in
+    let d = Operator.distinct () in
+    fun inputs -> d (Operator.union (l inputs) (r inputs))
+  | Plan.Set_op { op = Sql.Ast.Except; left; right } ->
+    (* set difference: distinct(A) minus-membership distinct(B) is not
+       linear; keep both integrals via distinct on each side *)
+    let l = compile_node ~lookup left and r = compile_node ~lookup right in
+    let dl = Operator.distinct () and dr = Operator.distinct () in
+    let final = Operator.distinct () in
+    fun inputs ->
+      let a = dl (l inputs) and b = dr (r inputs) in
+      (* a, b are deltas of the distinct sets; A - B in Z-set land *)
+      final (Zset.minus a b)
+  | Plan.Set_op { op = Sql.Ast.Intersect; _ } ->
+    Error.fail "INTERSECT views are not supported incrementally"
+  | Plan.Materialized { rows; _ } ->
+    (* constant input: appears in full at the first step, never changes *)
+    let emitted = ref false in
+    fun _ ->
+      if !emitted then empty_zset
+      else begin
+        emitted := true;
+        Zset.of_rows rows
+      end
+
+(** Compile [query] against [catalog] into a circuit. The *unoptimized*
+    plan is used: physical choices like index scans do not apply to delta
+    streams, and the circuit operators are already positional. *)
+let of_select (catalog : Catalog.t) (query : Sql.Ast.select) : t =
+  let plan = Planner.plan catalog query in
+  let lookup table = (Catalog.find_table catalog table).Table.schema in
+  { step = compile_node ~lookup plan; tables = Plan.base_tables plan }
+
+let of_sql (catalog : Catalog.t) (sql : string) : t =
+  of_select catalog (Sql.Parser.parse_select sql)
+
+(** Convenience: feed one step of deltas given as (table, rows, weight)
+    triples. *)
+let step (c : t) (deltas : (string * Row.t list * int) list) : Zset.t =
+  let inputs =
+    List.fold_left
+      (fun m (table, rows, w) ->
+         let z =
+           match String_map.find_opt table m with
+           | Some z -> z
+           | None -> Zset.create ()
+         in
+         List.iter (fun row -> Zset.add z row w) rows;
+         String_map.add table z m)
+      String_map.empty deltas
+  in
+  c.step inputs

@@ -1,0 +1,26 @@
+(** Compile a view query into an incremental circuit: a stateful function
+    from per-table input deltas to the view's output delta — the
+    executable embodiment of DBSP's incrementalization, used both to
+    ground the SQL rewrite templates and as an independent oracle in the
+    property tests. *)
+
+open Openivm_engine
+
+module String_map : Map.S with type key = string
+
+type inputs = Zset.t String_map.t
+
+type t = {
+  step : inputs -> Zset.t;
+  tables : string list;  (** base tables the circuit listens to *)
+}
+
+val of_select : Catalog.t -> Sql.Ast.select -> t
+(** Raises {!Openivm_engine.Error.Sql_error} for constructs with no
+    incremental form here (outer joins, LIMIT, INTERSECT, DISTINCT
+    aggregates). *)
+
+val of_sql : Catalog.t -> string -> t
+
+val step : t -> (string * Row.t list * int) list -> Zset.t
+(** Feed one step of deltas given as (table, rows, weight) triples. *)

@@ -1,0 +1,66 @@
+(** Incremental forms of the relational operators (DBSP §4; paper §2):
+
+    - selection and projection are linear: their incremental form is
+      themselves applied to the delta;
+    - join is bilinear: its incremental form expands to *three* joins,
+        d(A ⋈ B) = dA ⋈ B  +  A ⋈ dB  +  dA ⋈ dB,
+      requiring integrated copies of both inputs as operator state;
+    - distinct and aggregation are stateful (see [Aggregate]).
+
+    Each operator is a stateful single-step delta transformer. *)
+
+open Openivm_engine
+
+type unary = Zset.t -> Zset.t
+type binary = Zset.t -> Zset.t -> Zset.t
+
+(** Incremental selection: stateless. *)
+let filter (p : Row.t -> bool) : unary = Zset.filter p
+
+(** Incremental projection (may merge rows; weights add): stateless. *)
+let map (f : Row.t -> Row.t) : unary = Zset.map f
+
+(** Composition of delta transformers. *)
+let ( >>> ) (f : unary) (g : unary) : unary = fun d -> g (f d)
+
+(** Incremental join. Keeps I(A) and I(B); on (dA, dB) emits
+    dA ⋈ B_old + A_old ⋈ dB + dA ⋈ dB and then integrates the deltas. *)
+let join ~(left_key : Row.t -> Row.t) ~(right_key : Row.t -> Row.t)
+    ~(output : Row.t -> Row.t -> Row.t) : binary =
+  let acc_left = Zset.create () in
+  let acc_right = Zset.create () in
+  let j = Zset.join ~left_key ~right_key ~output in
+  fun d_left d_right ->
+    let part1 = j d_left acc_right in
+    let part2 = j acc_left d_right in
+    let part3 = j d_left d_right in
+    Zset.accumulate ~into:acc_left d_left;
+    Zset.accumulate ~into:acc_right d_right;
+    Zset.plus (Zset.plus part1 part2) part3
+
+(** Incremental distinct: output delta keeps the integrated input and the
+    integrated output set, emitting +1/-1 when membership flips. *)
+let distinct () : unary =
+  let acc = Zset.create () in
+  fun delta ->
+    let out = Zset.create () in
+    Zset.iter
+      (fun row w ->
+         let before = Zset.weight acc row in
+         let after = before + w in
+         Zset.add acc row w;
+         if before <= 0 && after > 0 then Zset.add out row 1
+         else if before > 0 && after <= 0 then Zset.add out row (-1))
+      delta;
+    out
+
+(** Incremental grouped aggregation (see [Aggregate] for state details). *)
+let aggregate ~key_of ~specs : unary =
+  let st = Aggregate.create ~key_of ~specs in
+  fun delta -> Aggregate.step st delta
+
+(** Union is linear: deltas add. *)
+let union : binary = Zset.plus
+
+(** Difference (EXCEPT ALL) is linear: d(A - B) = dA - dB. *)
+let difference : binary = fun da db -> Zset.minus da db

@@ -1,0 +1,32 @@
+(** Incremental forms of the relational operators (DBSP §4 / paper §2):
+    selection and projection are linear (they run unchanged on deltas);
+    join is bilinear and expands to three joins with integrated state;
+    distinct and aggregation are stateful. Every operator is a stateful
+    single-step delta transformer. *)
+
+open Openivm_engine
+
+type unary = Zset.t -> Zset.t
+type binary = Zset.t -> Zset.t -> Zset.t
+
+val filter : (Row.t -> bool) -> unary
+val map : (Row.t -> Row.t) -> unary
+val ( >>> ) : unary -> unary -> unary
+
+val join :
+  left_key:(Row.t -> Row.t) ->
+  right_key:(Row.t -> Row.t) ->
+  output:(Row.t -> Row.t -> Row.t) ->
+  binary
+(** d(A ⋈ B) = dA ⋈ B + A ⋈ dB + dA ⋈ dB, keeping I(A) and I(B) inside. *)
+
+val distinct : unit -> unary
+(** Emits ±1 exactly when set membership flips. *)
+
+val aggregate :
+  key_of:(Row.t -> Row.t) -> specs:Aggregate.spec list -> unary
+(** Grouped aggregation with retraction support; the output delta retracts
+    a group's old row and asserts its new one. *)
+
+val union : binary
+val difference : binary

@@ -1,0 +1,51 @@
+(** Streams of Z-sets and the two DBSP stream operators:
+
+    - differentiation  D(s)_t = s_t - s_(t-1)
+    - integration      I(s)_t = sum_(i<=t) s_i
+
+    which satisfy D(I(s)) = s and I(D(s)) = s. Streams are finite here
+    (lists indexed by time), which is all the tests and the compiler need:
+    the runner applies the single-step versions ([step_*]) online. *)
+
+type t = Zset.t list
+
+let differentiate (s : t) : t =
+  let rec go prev = function
+    | [] -> []
+    | z :: rest -> Zset.minus z prev :: go z rest
+  in
+  go (Zset.create ()) s
+
+let integrate (s : t) : t =
+  let rec go acc = function
+    | [] -> []
+    | z :: rest ->
+      let acc = Zset.plus acc z in
+      acc :: go acc rest
+  in
+  go (Zset.create ()) s
+
+(** Stateful single-step integrator: feed deltas, read the running sum. *)
+type integrator = { state : Zset.t }
+
+let integrator () = { state = Zset.create () }
+
+let step_integrate (i : integrator) (delta : Zset.t) : Zset.t =
+  Zset.accumulate ~into:i.state delta;
+  i.state
+
+(** Stateful single-step differentiator: feed snapshots, read deltas. *)
+type differentiator = { mutable previous : Zset.t }
+
+let differentiator () = { previous = Zset.create () }
+
+let step_differentiate (d : differentiator) (snapshot : Zset.t) : Zset.t =
+  let delta = Zset.minus snapshot d.previous in
+  d.previous <- Zset.copy snapshot;
+  delta
+
+(** Pointwise lifting of a Z-set operator to streams. *)
+let lift (f : Zset.t -> Zset.t) (s : t) : t = List.map f s
+
+let lift2 (f : Zset.t -> Zset.t -> Zset.t) (a : t) (b : t) : t =
+  List.map2 f a b

@@ -1,0 +1,22 @@
+(** Streams of Z-sets and the two DBSP stream operators: differentiation
+    [D(s)_t = s_t - s_(t-1)] and integration [I(s)_t = sum_(i<=t) s_i],
+    mutually inverse. Finite streams (lists) for the algebra; the
+    [step_*] forms are the online single-step versions the runner uses. *)
+
+type t = Zset.t list
+
+val differentiate : t -> t
+val integrate : t -> t
+
+type integrator
+val integrator : unit -> integrator
+val step_integrate : integrator -> Zset.t -> Zset.t
+(** Feed a delta, read the running sum (shared, do not mutate). *)
+
+type differentiator
+val differentiator : unit -> differentiator
+val step_differentiate : differentiator -> Zset.t -> Zset.t
+(** Feed a snapshot, read the delta against the previous snapshot. *)
+
+val lift : (Zset.t -> Zset.t) -> t -> t
+val lift2 : (Zset.t -> Zset.t -> Zset.t) -> t -> t -> t

@@ -1,0 +1,73 @@
+(** The catalog: named tables, (non-materialized) view definitions, and the
+    index namespace. Materialized views are plain tables plus rows in the
+    OpenIVM metadata tables, exactly as in the paper ("we store materialized
+    views as tables and save their additional properties in metadata
+    tables"). *)
+
+type view_def = {
+  view_name : string;
+  query : Sql.Ast.select;
+  sql : string;
+}
+
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  views : (string, view_def) Hashtbl.t;
+  index_owner : (string, string) Hashtbl.t;  (** index name -> table name *)
+}
+
+let create () = {
+  tables = Hashtbl.create 16;
+  views = Hashtbl.create 16;
+  index_owner = Hashtbl.create 16;
+}
+
+let table_exists t name = Hashtbl.mem t.tables name
+let view_exists t name = Hashtbl.mem t.views name
+
+let find_table t name : Table.t =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> tbl
+  | None -> Error.fail "table %S does not exist" name
+
+let find_table_opt t name = Hashtbl.find_opt t.tables name
+let find_view_opt t name = Hashtbl.find_opt t.views name
+
+let add_table t (tbl : Table.t) =
+  if table_exists t tbl.Table.name || view_exists t tbl.Table.name then
+    Error.fail "catalog object %S already exists" tbl.Table.name;
+  Hashtbl.replace t.tables tbl.Table.name tbl
+
+let add_view t (v : view_def) =
+  if table_exists t v.view_name || view_exists t v.view_name then
+    Error.fail "catalog object %S already exists" v.view_name;
+  Hashtbl.replace t.views v.view_name v
+
+let drop_table t name ~if_exists =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl ->
+    List.iter
+      (fun ix -> Hashtbl.remove t.index_owner ix.Table.index_name)
+      tbl.Table.secondary;
+    Hashtbl.remove t.tables name
+  | None -> if not if_exists then Error.fail "table %S does not exist" name
+
+let drop_view t name ~if_exists =
+  if Hashtbl.mem t.views name then Hashtbl.remove t.views name
+  else if not if_exists then Error.fail "view %S does not exist" name
+
+let register_index t ~index_name ~table_name =
+  if Hashtbl.mem t.index_owner index_name then
+    Error.fail "index %S already exists" index_name;
+  Hashtbl.replace t.index_owner index_name table_name
+
+let drop_index t ~index_name ~if_exists =
+  match Hashtbl.find_opt t.index_owner index_name with
+  | Some table_name ->
+    Table.drop_index (find_table t table_name) ~index_name;
+    Hashtbl.remove t.index_owner index_name
+  | None -> if not if_exists then Error.fail "index %S does not exist" index_name
+
+let table_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tables []
+  |> List.sort String.compare

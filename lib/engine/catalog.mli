@@ -1,0 +1,34 @@
+(** The catalog: named tables, (non-materialized) view definitions, and
+    the index namespace. Materialized views are plain tables plus rows in
+    the OpenIVM metadata tables, as in the paper. *)
+
+type view_def = {
+  view_name : string;
+  query : Sql.Ast.select;
+  sql : string;
+}
+
+type t
+
+val create : unit -> t
+
+val table_exists : t -> string -> bool
+val view_exists : t -> string -> bool
+
+val find_table : t -> string -> Table.t
+(** Raises {!Error.Sql_error} when missing. *)
+
+val find_table_opt : t -> string -> Table.t option
+val find_view_opt : t -> string -> view_def option
+
+val add_table : t -> Table.t -> unit
+val add_view : t -> view_def -> unit
+
+val drop_table : t -> string -> if_exists:bool -> unit
+val drop_view : t -> string -> if_exists:bool -> unit
+
+val register_index : t -> index_name:string -> table_name:string -> unit
+val drop_index : t -> index_name:string -> if_exists:bool -> unit
+
+val table_names : t -> string list
+(** Sorted. *)

@@ -1,0 +1,176 @@
+(** CSV import/export (a COPY-style utility).
+
+    Format: comma separator, double-quote quoting with [""] escapes, one
+    header line with column names, empty unquoted field = NULL. Values are
+    coerced through the table schema on import. *)
+
+let quote_field s =
+  let needs =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+    || s = ""
+  in
+  if not needs then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+         if c = '"' then Buffer.add_string buf "\"\""
+         else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let field_of_value = function
+  | Value.Null -> ""
+  | v -> quote_field (Value.to_string v)
+
+(** Split one CSV record (no embedded newlines across records here: rows
+    with quoted newlines are joined by the reader before parsing). *)
+let parse_record (line : string) : string option list =
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let n = String.length line in
+  let quoted_field = ref false in
+  let rec go i in_quotes =
+    if i >= n then begin
+      let s = Buffer.contents buf in
+      fields := (if s = "" && not !quoted_field then None else Some s) :: !fields
+    end
+    else
+      match line.[i], in_quotes with
+      | '"', false when Buffer.length buf = 0 ->
+        quoted_field := true;
+        go (i + 1) true
+      | '"', true when i + 1 < n && line.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        go (i + 2) true
+      | '"', true -> go (i + 1) false
+      | ',', false ->
+        let s = Buffer.contents buf in
+        fields := (if s = "" && not !quoted_field then None else Some s) :: !fields;
+        Buffer.clear buf;
+        quoted_field := false;
+        go (i + 1) false
+      | c, _ ->
+        Buffer.add_char buf c;
+        go (i + 1) in_quotes
+  in
+  go 0 false;
+  List.rev !fields
+
+let value_of_field (typ : Sql.Ast.typ) (field : string option) : Value.t =
+  match field with
+  | None -> Value.Null
+  | Some s ->
+    (match typ with
+     | Sql.Ast.T_int ->
+       (try Value.Int (int_of_string (String.trim s))
+        with Failure _ -> Error.fail "CSV: bad INTEGER %S" s)
+     | Sql.Ast.T_float ->
+       (try Value.Float (float_of_string (String.trim s))
+        with Failure _ -> Error.fail "CSV: bad DOUBLE %S" s)
+     | Sql.Ast.T_text -> Value.Str s
+     | Sql.Ast.T_bool ->
+       (match String.lowercase_ascii (String.trim s) with
+        | "true" | "t" | "1" -> Value.Bool true
+        | "false" | "f" | "0" -> Value.Bool false
+        | _ -> Error.fail "CSV: bad BOOLEAN %S" s)
+     | Sql.Ast.T_date -> Value.date_of_string (String.trim s))
+
+(* join physical lines while a record has an unbalanced quote count *)
+let read_records (ic : in_channel) : string list =
+  let records = ref [] in
+  let pending = Buffer.create 64 in
+  let unbalanced s =
+    let q = ref 0 in
+    String.iter (fun c -> if c = '"' then incr q) s;
+    !q mod 2 = 1
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       if Buffer.length pending > 0 then begin
+         Buffer.add_char pending '\n';
+         Buffer.add_string pending line
+       end
+       else Buffer.add_string pending line;
+       if not (unbalanced (Buffer.contents pending)) then begin
+         records := Buffer.contents pending :: !records;
+         Buffer.clear pending
+       end
+     done
+   with End_of_file -> ());
+  if Buffer.length pending > 0 then records := Buffer.contents pending :: !records;
+  List.rev !records
+
+(** Import a CSV file into an existing table (append). The header must
+    name a subset of the table's columns; missing columns become NULL.
+    Returns the number of rows inserted. Fires capture triggers like any
+    other insert. *)
+let import (db : Database.t) ~(table : string) ~(path : string) : int =
+  let tbl = Catalog.find_table (Database.catalog db) table in
+  let schema = tbl.Table.schema in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+       match read_records ic with
+       | [] -> 0
+       | header :: rows ->
+         let positions =
+           List.map
+             (fun field ->
+                match field with
+                | Some name ->
+                  let i, c =
+                    Schema.find schema ~qualifier:None
+                      ~name:(String.lowercase_ascii (String.trim name))
+                  in
+                  (i, c.Schema.typ)
+                | None -> Error.fail "CSV: empty header column")
+             (parse_record header)
+         in
+         let arity = Schema.arity schema in
+         let inserted = ref [] in
+         List.iter
+           (fun record ->
+              if String.trim record <> "" then begin
+                let fields = parse_record record in
+                if List.length fields <> List.length positions then
+                  Error.fail "CSV: row has %d fields, header has %d"
+                    (List.length fields) (List.length positions);
+                let row = Array.make arity Value.Null in
+                List.iter2
+                  (fun (i, typ) field -> row.(i) <- value_of_field typ field)
+                  positions fields;
+                Table.insert tbl row;
+                inserted := row :: !inserted
+              end)
+           rows;
+         let change =
+           { Trigger.table; inserted = List.rev !inserted; deleted = [] }
+         in
+         Trigger.fire (Database.triggers db) change;
+         List.length !inserted)
+
+(** Export a query result to a CSV file (with header). Returns the number
+    of rows written. *)
+let export (db : Database.t) ~(query : string) ~(path : string) : int =
+  let r = Database.query db query in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+       output_string oc
+         (String.concat "," (List.map quote_field (Schema.names r.Database.schema)));
+       output_char oc '\n';
+       List.iter
+         (fun (row : Row.t) ->
+            output_string oc
+              (String.concat ","
+                 (Array.to_list (Array.map field_of_value row)));
+            output_char oc '\n')
+         r.Database.rows;
+       List.length r.Database.rows)

@@ -1,0 +1,16 @@
+(** CSV import/export (COPY-style): comma separator, double-quote quoting
+    with [""] escapes, one header line, empty unquoted field = NULL. *)
+
+val import : Database.t -> table:string -> path:string -> int
+(** Append a CSV file into an existing table; the header names a subset of
+    the table's columns (missing ones become NULL). Values are coerced
+    through the schema; capture triggers fire like any insert. Returns the
+    number of rows inserted. *)
+
+val export : Database.t -> query:string -> path:string -> int
+(** Write a query result (with header) to a file; returns the row count. *)
+
+(**/**)
+
+val parse_record : string -> string option list
+val quote_field : string -> string

@@ -1,0 +1,62 @@
+(** The Minidb façade: a catalog plus trigger registry behind a SQL
+    interface — the stock-engine role DuckDB plays in the paper, and (in a
+    second instance, with per-statement latency) the PostgreSQL role. *)
+
+type profile = {
+  mutable statements : int;
+  mutable select_time : float;
+  mutable dml_time : float;
+  mutable ddl_time : float;
+  mutable rows_read : int;
+  mutable rows_written : int;
+}
+
+type t = {
+  name : string;
+  catalog : Catalog.t;
+  triggers : Trigger.t;
+  profile : profile;
+  mutable optimizer_enabled : bool;
+  mutable statement_latency : float;
+}
+
+type query_result = {
+  schema : Schema.t;
+  rows : Row.t list;
+}
+
+type exec_result =
+  | Rows of query_result
+  | Affected of int
+  | Ok_msg of string
+
+val create : ?name:string -> unit -> t
+
+val catalog : t -> Catalog.t
+val triggers : t -> Trigger.t
+val profile : t -> profile
+val reset_profile : t -> unit
+
+val set_statement_latency : t -> float -> unit
+(** Artificial per-statement latency in seconds, modelling a client/server
+    round trip (0 for an embedded engine). *)
+
+val plan_select : t -> Sql.Ast.select -> Plan.t
+(** Parse-tree to (optimized) logical plan, without executing. *)
+
+val run_select : t -> Sql.Ast.select -> query_result
+
+val exec_stmt : t -> Sql.Ast.stmt -> exec_result
+val exec : t -> string -> exec_result
+val exec_script : t -> string -> exec_result list
+
+val query : t -> string -> query_result
+(** Run a SELECT; raises {!Error.Sql_error} if the statement is not one. *)
+
+val query_scalar : t -> string -> Value.t
+(** First column of the first row, [Null] if empty. *)
+
+val query_int : t -> string -> int
+
+val render_result : query_result -> string
+(** Boxed table rendering, shell-style. *)

@@ -1,0 +1,234 @@
+(** INSERT / UPDATE / DELETE execution, with trigger firing. *)
+
+(* read a slot's live row *)
+let _openivm_engine_vec_get (tbl : Table.t) slot = Vec.get tbl.Table.slots slot
+
+type outcome = {
+  affected : int;
+  change : Trigger.change option;
+}
+
+let coerce_to_schema (schema : Schema.t) (row : Row.t) : Row.t =
+  let cols = Array.of_list schema in
+  if Array.length row <> Array.length cols then
+    Error.fail "expected %d values, got %d" (Array.length cols) (Array.length row);
+  Array.mapi
+    (fun i v ->
+       if Value.is_null v then begin
+         if cols.(i).Schema.not_null then
+           Error.fail "NULL violates NOT NULL on column %S" cols.(i).Schema.name;
+         v
+       end
+       else
+         match cols.(i).Schema.typ, v with
+         | Sql.Ast.T_int, Value.Int _
+         | Sql.Ast.T_float, Value.Float _
+         | Sql.Ast.T_text, Value.Str _
+         | Sql.Ast.T_bool, Value.Bool _
+         | Sql.Ast.T_date, Value.Date _ -> v
+         | Sql.Ast.T_float, Value.Int i -> Value.Float (float_of_int i)
+         | Sql.Ast.T_date, Value.Str s -> Value.date_of_string s
+         | t, _ -> Expr.cast_value t v)
+    row
+
+(** Rows for an INSERT: evaluate the source, then scatter the values into
+    table column order (missing columns become NULL). *)
+let insert_rows (catalog : Catalog.t) (table : Table.t) (columns : string list)
+    (source : Sql.Ast.insert_source) : Row.t list =
+  let produced : Row.t list =
+    match source with
+    | Sql.Ast.Values rows ->
+      List.map
+        (fun exprs -> Array.of_list (List.map Expr.eval_const exprs))
+        rows
+    | Sql.Ast.Query q ->
+      let plan = Optimizer.optimize catalog (Planner.plan catalog q) in
+      (Exec.run catalog plan).Exec.rows
+  in
+  let schema = table.Table.schema in
+  let placed =
+    if columns = [] then produced
+    else begin
+      let positions =
+        List.map
+          (fun c ->
+             let i, _ = Schema.find schema ~qualifier:None ~name:c in
+             i)
+          columns
+      in
+      let arity = Schema.arity schema in
+      List.map
+        (fun (row : Row.t) ->
+           if Array.length row <> List.length positions then
+             Error.fail "INSERT column list has %d columns but %d values supplied"
+               (List.length positions) (Array.length row);
+           let full = Array.make arity Value.Null in
+           List.iteri (fun j pos -> full.(pos) <- row.(j)) positions;
+           full)
+        produced
+    end
+  in
+  List.map (coerce_to_schema schema) placed
+
+let exec_insert catalog triggers ~table ~columns ~source ~on_conflict : outcome =
+  let tbl = Catalog.find_table catalog table in
+  let rows = insert_rows catalog tbl columns source in
+  let inserted = ref [] in
+  let deleted = ref [] in
+  List.iter
+    (fun row ->
+       match on_conflict with
+       | Sql.Ast.No_conflict_clause ->
+         Table.insert tbl row;
+         inserted := row :: !inserted
+       | Sql.Ast.Or_replace ->
+         (match Table.upsert tbl row with
+          | Table.Inserted -> inserted := row :: !inserted
+          | Table.Replaced old ->
+            deleted := old :: !deleted;
+            inserted := row :: !inserted)
+       | Sql.Ast.Do_nothing ->
+         if Table.insert_ignore tbl row then inserted := row :: !inserted)
+    rows;
+  let change =
+    { Trigger.table; inserted = List.rev !inserted; deleted = List.rev !deleted }
+  in
+  Trigger.fire triggers change;
+  { affected = List.length change.Trigger.inserted; change = Some change }
+
+(** Index fast-path for point UPDATE/DELETE: when conjuncts of [where] pin
+    every column of the PK or of a secondary index with constants, return
+    the candidate slots (a superset of the matching rows — the caller
+    still applies the full predicate). *)
+let candidate_slots (tbl : Table.t) (where : Sql.Ast.expr option) :
+  int list option =
+  match where with
+  | None -> None
+  | Some predicate ->
+    let schema = tbl.Table.schema in
+    let pinned = Hashtbl.create 8 in
+    List.iter
+      (fun c ->
+         match c with
+         | Sql.Ast.Binary (Sql.Ast.Eq, a, b) ->
+           let try_pin col const =
+             match col with
+             | Sql.Ast.Column (qualifier, name) when name <> "*" ->
+               if Openivm_sql.Analysis.is_constant const then begin
+                 match Schema.find_opt schema ~qualifier ~name with
+                 | Some (i, _) ->
+                   if not (Hashtbl.mem pinned i) then
+                     Hashtbl.replace pinned i const
+                 | None -> ()
+                 | exception Error.Sql_error _ -> ()
+               end
+             | _ -> ()
+           in
+           try_pin a b;
+           try_pin b a
+         | _ -> ())
+      (Optimizer.conjuncts predicate);
+    let key_for positions =
+      Value.encode_key
+        (Array.map (fun i -> Expr.eval_const (Hashtbl.find pinned i)) positions)
+    in
+    let fully_pinned positions =
+      Array.length positions > 0
+      && Array.for_all (fun i -> Hashtbl.mem pinned i) positions
+    in
+    if fully_pinned tbl.Table.primary_key then
+      Some (Option.to_list (Table.pk_slot tbl (key_for tbl.Table.primary_key)))
+    else
+      List.find_map
+        (fun ix ->
+           if fully_pinned ix.Table.key_positions then
+             Some (Table.index_slots tbl ix (key_for ix.Table.key_positions))
+           else None)
+        tbl.Table.secondary
+
+let exec_delete catalog triggers ~table ~where : outcome =
+  let tbl = Catalog.find_table catalog table in
+  let pred =
+    match where with
+    | None -> fun (_ : Row.t) -> true
+    | Some e ->
+      let c = Exec.compile_expr catalog tbl.Table.schema e in
+      fun row -> Expr.is_true (c row)
+  in
+  let deleted =
+    match candidate_slots tbl where with
+    | Some slots ->
+      List.filter_map
+        (fun slot ->
+           match _openivm_engine_vec_get tbl slot with
+           | Some row when pred row -> Table.delete_slot tbl slot
+           | _ -> None)
+        slots
+    | None -> Table.delete_where tbl pred
+  in
+  let change = { Trigger.table; inserted = []; deleted } in
+  Trigger.fire triggers change;
+  { affected = List.length deleted; change = Some change }
+
+let exec_update catalog triggers ~table ~assignments ~where : outcome =
+  let tbl = Catalog.find_table catalog table in
+  let schema = tbl.Table.schema in
+  let pred =
+    match where with
+    | None -> fun (_ : Row.t) -> true
+    | Some e ->
+      let c = Exec.compile_expr catalog schema e in
+      fun row -> Expr.is_true (c row)
+  in
+  let compiled =
+    List.map
+      (fun (col, e) ->
+         let i, colinfo = Schema.find schema ~qualifier:None ~name:col in
+         let c = Exec.compile_expr catalog schema e in
+         (i, colinfo.Schema.typ, c))
+      assignments
+  in
+  let transform (row : Row.t) : Row.t =
+    let fresh = Array.copy row in
+    List.iter
+      (fun (i, typ, c) ->
+         let v = c row in
+         fresh.(i) <- (if Value.is_null v then v else Expr.cast_value typ v))
+      compiled;
+    fresh
+  in
+  let changed =
+    match candidate_slots tbl where with
+    | Some slots ->
+      let targets =
+        List.filter_map
+          (fun slot ->
+             match _openivm_engine_vec_get tbl slot with
+             | Some row when pred row -> Some slot
+             | _ -> None)
+          slots
+      in
+      List.map
+        (fun slot ->
+           let old = Option.get (Table.delete_slot tbl slot) in
+           let fresh = transform old in
+           Table.insert tbl fresh;
+           (old, fresh))
+        targets
+    | None -> Table.update_where tbl pred transform
+  in
+  let change =
+    { Trigger.table;
+      inserted = List.map snd changed;
+      deleted = List.map fst changed }
+  in
+  Trigger.fire triggers change;
+  { affected = List.length changed; change = Some change }
+
+let exec_truncate catalog triggers ~table : outcome =
+  let tbl = Catalog.find_table catalog table in
+  let deleted = Table.to_rows tbl in
+  let n = Table.truncate tbl in
+  let change = { Trigger.table; inserted = []; deleted } in
+  Trigger.fire triggers change;
+  { affected = n; change = Some change }

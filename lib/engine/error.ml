@@ -1,0 +1,14 @@
+(** Engine errors. All user-facing failures funnel through [Sql_error] so
+    the shell and tests can report them uniformly. *)
+
+exception Sql_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Sql_error s)) fmt
+
+let protect f =
+  try Ok (f ()) with
+  | Sql_error msg -> Error msg
+  | Openivm_sql.Lexer.Error (msg, pos) ->
+    Error (Printf.sprintf "lex error at byte %d: %s" pos msg)
+  | Openivm_sql.Parser.Error (msg, pos) ->
+    Error (Printf.sprintf "parse error at byte %d: %s" pos msg)

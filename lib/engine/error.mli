@@ -1,0 +1,10 @@
+(** Engine errors: every user-facing failure raises [Sql_error]. *)
+
+exception Sql_error of string
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+(** [fail fmt ...] raises {!Sql_error} with the formatted message. *)
+
+val protect : (unit -> 'a) -> ('a, string) result
+(** Catch {!Sql_error} and the SQL frontend's lexer/parser errors,
+    rendering them uniformly. *)

@@ -1,0 +1,28 @@
+(** Physical execution of logical plans (materialized, operator at a
+    time): hash joins for extractable equality keys (including the
+    NULL-safe equalities the IVM combine emits), nested loops otherwise,
+    hash aggregation, index scans. *)
+
+type result = {
+  schema : Schema.t;
+  rows : Row.t list;
+}
+
+type join_key = {
+  left_expr : Sql.Ast.expr;
+  right_expr : Sql.Ast.expr;
+  nullsafe : bool;  (** NULL matches NULL (a = b OR (a IS NULL AND b IS NULL)) *)
+}
+
+val split_join_condition :
+  Schema.t -> Schema.t -> Sql.Ast.expr option ->
+  join_key list * Sql.Ast.expr list
+(** Split an ON condition into hash keys plus residual conjuncts. *)
+
+val run : Catalog.t -> Plan.t -> result
+
+val subquery_values : Catalog.t -> Sql.Ast.select -> Value.t list
+(** Evaluate an uncorrelated subquery to its first column. *)
+
+val compile_expr : Catalog.t -> Schema.t -> Sql.Ast.expr -> Expr.compiled
+(** {!Expr.compile} wired to this catalog's subquery resolver. *)

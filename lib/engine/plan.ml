@@ -1,0 +1,187 @@
+(** Logical query plans.
+
+    Expressions inside plan nodes are SQL AST expressions that name columns
+    of the node's *input* schema; they are compiled to closures at
+    execution time. The same representation is what the OpenIVM rewriter
+    transforms into incremental form, mirroring the paper's use of the
+    DuckDB logical plan. *)
+
+type agg_spec = {
+  agg : Sql.Ast.agg;
+  distinct : bool;
+  arg : Sql.Ast.expr option;  (** None = COUNT star *)
+  out_name : string;
+}
+
+type t =
+  | Scan of { table : string; binding : string }
+  | Index_scan of {
+      table : string;
+      binding : string;
+      index_name : string;  (** "" = the primary key *)
+      key_exprs : Sql.Ast.expr list;  (** constant expressions, one per key column *)
+    }
+  | Filter of { input : t; predicate : Sql.Ast.expr }
+  | Project of {
+      input : t;
+      projections : (Sql.Ast.expr * string) list;
+      binding : string option;  (** subquery alias, if any *)
+    }
+  | Join of {
+      left : t;
+      right : t;
+      kind : Sql.Ast.join_kind;
+      condition : Sql.Ast.expr option;
+    }
+  | Aggregate of {
+      input : t;
+      group_exprs : (Sql.Ast.expr * string) list;
+      aggs : agg_spec list;
+    }
+  | Distinct of t
+  | Sort of { input : t; keys : (Sql.Ast.expr * bool) list }
+      (** bool = descending *)
+  | Limit of { input : t; limit : int option; offset : int option }
+  | Set_op of { op : Sql.Ast.set_op; left : t; right : t }
+  | Materialized of { schema : Schema.t; rows : Row.t list; label : string }
+      (** pre-computed input: planned CTE results, VALUES, dummy inputs *)
+
+(** Output schema of a plan. [lookup] resolves base-table schemas. *)
+let rec schema_of ~(lookup : string -> Schema.t) (plan : t) : Schema.t =
+  match plan with
+  | Scan { table; binding } | Index_scan { table; binding; _ } ->
+    Schema.requalify (lookup table) binding
+  | Filter { input; _ } -> schema_of ~lookup input
+  | Project { input; projections; binding } ->
+    let inner = schema_of ~lookup input in
+    List.map
+      (fun (e, name) ->
+         Schema.column ?table:binding name (Expr.infer_type inner e))
+      projections
+  | Join { left; right; kind; _ } ->
+    let ls = schema_of ~lookup left and rs = schema_of ~lookup right in
+    let weaken = List.map (fun c -> { c with Schema.not_null = false }) in
+    (match kind with
+     | Sql.Ast.Left_outer -> ls @ weaken rs
+     | Sql.Ast.Right_outer -> weaken ls @ rs
+     | Sql.Ast.Full_outer -> weaken ls @ weaken rs
+     | Sql.Ast.Inner | Sql.Ast.Cross -> ls @ rs)
+  | Aggregate { input; group_exprs; aggs } ->
+    let inner = schema_of ~lookup input in
+    let group_cols =
+      List.map
+        (fun (e, name) ->
+           let table =
+             match e with Sql.Ast.Column (q, _) -> q | _ -> None
+           in
+           Schema.column ?table name (Expr.infer_type inner e))
+        group_exprs
+    in
+    let agg_cols =
+      List.map
+        (fun spec ->
+           Schema.column spec.out_name
+             (Expr.infer_type inner
+                (Sql.Ast.Aggregate (spec.agg, spec.distinct, spec.arg))))
+        aggs
+    in
+    group_cols @ agg_cols
+  | Distinct input -> schema_of ~lookup input
+  | Sort { input; _ } -> schema_of ~lookup input
+  | Limit { input; _ } -> schema_of ~lookup input
+  | Set_op { left; _ } -> schema_of ~lookup left
+  | Materialized { schema; _ } -> schema
+
+(** Structural fold over inputs, for rewriters. *)
+let map_children f = function
+  | (Scan _ | Index_scan _) as p -> p
+  | Filter { input; predicate } -> Filter { input = f input; predicate }
+  | Project { input; projections; binding } ->
+    Project { input = f input; projections; binding }
+  | Join { left; right; kind; condition } ->
+    Join { left = f left; right = f right; kind; condition }
+  | Aggregate { input; group_exprs; aggs } ->
+    Aggregate { input = f input; group_exprs; aggs }
+  | Distinct input -> Distinct (f input)
+  | Sort { input; keys } -> Sort { input = f input; keys }
+  | Limit { input; limit; offset } -> Limit { input = f input; limit; offset }
+  | Set_op { op; left; right } -> Set_op { op; left = f left; right = f right }
+  | Materialized _ as p -> p
+
+let rec base_tables = function
+  | Scan { table; _ } | Index_scan { table; _ } -> [ table ]
+  | Filter { input; _ } | Project { input; _ } | Aggregate { input; _ }
+  | Distinct input | Sort { input; _ } | Limit { input; _ } ->
+    base_tables input
+  | Join { left; right; _ } | Set_op { left; right; _ } ->
+    base_tables left @ base_tables right
+  | Materialized _ -> []
+
+let node_name = function
+  | Scan _ -> "SCAN"
+  | Index_scan _ -> "INDEX_SCAN"
+  | Filter _ -> "FILTER"
+  | Project _ -> "PROJECT"
+  | Join { kind; _ } ->
+    (match kind with
+     | Sql.Ast.Inner -> "HASH_JOIN(INNER)"
+     | Sql.Ast.Left_outer -> "HASH_JOIN(LEFT)"
+     | Sql.Ast.Right_outer -> "HASH_JOIN(RIGHT)"
+     | Sql.Ast.Full_outer -> "HASH_JOIN(FULL)"
+     | Sql.Ast.Cross -> "CROSS_PRODUCT")
+  | Aggregate _ -> "HASH_GROUP_BY"
+  | Distinct _ -> "DISTINCT"
+  | Sort _ -> "ORDER_BY"
+  | Limit _ -> "LIMIT"
+  | Set_op { op; _ } ->
+    (match op with
+     | Sql.Ast.Union -> "UNION"
+     | Sql.Ast.Union_all -> "UNION_ALL"
+     | Sql.Ast.Except -> "EXCEPT"
+     | Sql.Ast.Intersect -> "INTERSECT")
+  | Materialized { label; _ } -> "MATERIALIZED(" ^ label ^ ")"
+
+let rec to_tree_lines ~indent plan : string list =
+  let pad = String.make indent ' ' in
+  let detail =
+    match plan with
+    | Scan { table; binding } ->
+      if String.equal table binding then " " ^ table
+      else Printf.sprintf " %s AS %s" table binding
+    | Index_scan { table; index_name; key_exprs; _ } ->
+      Printf.sprintf " %s VIA %s (%s)" table
+        (if index_name = "" then "PRIMARY KEY" else index_name)
+        (String.concat ", "
+           (List.map
+              (Openivm_sql.Pretty.expr_to_sql Openivm_sql.Dialect.duckdb)
+              key_exprs))
+    | Filter { predicate; _ } ->
+      " " ^ Openivm_sql.Pretty.expr_to_sql Openivm_sql.Dialect.duckdb predicate
+    | Project { projections; _ } ->
+      " "
+      ^ String.concat ", "
+          (List.map
+             (fun (e, name) ->
+                Openivm_sql.Pretty.expr_to_sql Openivm_sql.Dialect.duckdb e
+                ^ " AS " ^ name)
+             projections)
+    | Join { condition = Some c; _ } ->
+      " ON " ^ Openivm_sql.Pretty.expr_to_sql Openivm_sql.Dialect.duckdb c
+    | Aggregate { group_exprs; aggs; _ } ->
+      Printf.sprintf " groups=[%s] aggs=[%s]"
+        (String.concat ", " (List.map snd group_exprs))
+        (String.concat ", " (List.map (fun a -> a.out_name) aggs))
+    | _ -> ""
+  in
+  let children =
+    match plan with
+    | Scan _ | Index_scan _ | Materialized _ -> []
+    | Filter { input; _ } | Project { input; _ } | Aggregate { input; _ }
+    | Distinct input | Sort { input; _ } | Limit { input; _ } ->
+      [ input ]
+    | Join { left; right; _ } | Set_op { left; right; _ } -> [ left; right ]
+  in
+  (pad ^ node_name plan ^ detail)
+  :: List.concat_map (to_tree_lines ~indent:(indent + 2)) children
+
+let to_string plan = String.concat "\n" (to_tree_lines ~indent:0 plan)

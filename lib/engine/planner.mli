@@ -1,0 +1,7 @@
+(** Translate a parsed SELECT into a logical plan: CTE and view inlining,
+    star expansion, aggregate decomposition
+    (Project ∘ [Filter having] ∘ Aggregate), ORDER BY resolution with
+    hidden sort columns, set operations. *)
+
+val plan : Catalog.t -> Sql.Ast.select -> Plan.t
+(** Raises {!Error.Sql_error} on unresolvable names and semantic errors. *)

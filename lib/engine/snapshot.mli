@@ -1,0 +1,13 @@
+(** Database snapshots: [schema.sql] (CREATE TABLE / CREATE INDEX) plus one
+    CSV per table in a directory. A snapshot of an IVM-enabled database
+    restores with its view tables, delta tables and OpenIVM metadata
+    intact; re-install views through [Openivm.Runner] to re-arm capture
+    triggers. *)
+
+val save : Database.t -> dir:string -> int
+(** Write the whole catalog under [dir] (created if missing); returns the
+    number of tables saved. *)
+
+val load : dir:string -> Database.t
+(** Load a snapshot into a fresh database (indexes rebuilt). Raises
+    {!Error.Sql_error} when the directory holds no snapshot. *)

@@ -1,0 +1,8 @@
+(** Short aliases for the SQL frontend, used throughout the engine. *)
+
+module Ast = Openivm_sql.Ast
+module Parser = Openivm_sql.Parser
+module Lexer = Openivm_sql.Lexer
+module Pretty = Openivm_sql.Pretty
+module Dialect = Openivm_sql.Dialect
+module Analysis = Openivm_sql.Analysis

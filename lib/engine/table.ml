@@ -1,0 +1,251 @@
+(** Heap table storage.
+
+    Rows live in slots of a growable vector; DELETE tombstones a slot so
+    indexes (which map encoded keys to slot numbers) stay valid. When more
+    than half the slots are dead a compaction rebuilds storage and all
+    indexes. *)
+
+type index = {
+  index_name : string;
+  key_positions : int array;
+  unique : bool;
+  (* unique indexes map key -> slot; non-unique map key -> slot list *)
+  mutable art : int list Art.t;
+}
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  primary_key : int array;  (** column positions; empty = no PK *)
+  slots : Row.t option Vec.t;
+  mutable live : int;
+  mutable pk_index : int Art.t option;
+  mutable secondary : index list;
+}
+
+let create ~name ~(schema : Schema.t) ~primary_key =
+  let pk_index = if Array.length primary_key = 0 then None else Some (Art.create ()) in
+  { name; schema; primary_key;
+    slots = Vec.create ~dummy:None;
+    live = 0; pk_index; secondary = [] }
+
+let arity t = Schema.arity t.schema
+let row_count t = t.live
+
+let key_of_row (positions : int array) (row : Row.t) : string =
+  Value.encode_key (Array.map (fun i -> row.(i)) positions)
+
+let pk_key t row = key_of_row t.primary_key row
+
+(* --- iteration --- *)
+
+let iter_rows f t =
+  Vec.iter (function Some row -> f row | None -> ()) t.slots
+
+let iter_slots f t =
+  Vec.iteri (fun i s -> match s with Some row -> f i row | None -> ()) t.slots
+
+let to_rows t =
+  let acc = ref [] in
+  iter_rows (fun r -> acc := r :: !acc) t;
+  List.rev !acc
+
+(* --- index maintenance --- *)
+
+let index_add_row (ix : index) slot row =
+  let key = key_of_row ix.key_positions row in
+  Art.insert_with ix.art ~combine:(fun old fresh -> fresh @ old) key [ slot ]
+
+let index_remove_row (ix : index) slot row =
+  let key = key_of_row ix.key_positions row in
+  match Art.find ix.art key with
+  | None -> ()
+  | Some slots ->
+    let remaining = List.filter (fun s -> s <> slot) slots in
+    if remaining = [] then ignore (Art.remove ix.art key)
+    else Art.insert ix.art key remaining
+
+let find_secondary t name =
+  List.find_opt (fun ix -> String.equal ix.index_name name) t.secondary
+
+(** Secondary index whose key is exactly [positions] (order-sensitive). *)
+let secondary_on t (positions : int array) =
+  List.find_opt (fun ix -> ix.key_positions = positions) t.secondary
+
+let create_index t ~index_name ~key_positions ~unique =
+  if find_secondary t index_name <> None then
+    Error.fail "index %S already exists" index_name;
+  let ix = { index_name; key_positions; unique; art = Art.create () } in
+  iter_slots (fun slot row -> index_add_row ix slot row) t;
+  if unique && Art.length ix.art <> t.live then
+    Error.fail "cannot create UNIQUE index %S: duplicate keys" index_name;
+  t.secondary <- ix :: t.secondary;
+  ix
+
+let drop_index t ~index_name =
+  if find_secondary t index_name = None then
+    Error.fail "index %S does not exist" index_name;
+  t.secondary <-
+    List.filter (fun ix -> not (String.equal ix.index_name index_name)) t.secondary
+
+(* --- compaction --- *)
+
+let compact t =
+  let rows = to_rows t in
+  Vec.clear t.slots;
+  (match t.pk_index with Some _ -> t.pk_index <- Some (Art.create ()) | None -> ());
+  List.iter (fun ix -> ix.art <- Art.create ()) t.secondary;
+  t.live <- 0;
+  List.iter
+    (fun row ->
+       let slot = Vec.push t.slots (Some row) in
+       t.live <- t.live + 1;
+       (match t.pk_index with
+        | Some pk -> Art.insert pk (pk_key t row) slot
+        | None -> ());
+       List.iter (fun ix -> index_add_row ix slot row) t.secondary)
+    rows
+
+let maybe_compact t =
+  let total = Vec.length t.slots in
+  if total > 64 && t.live * 2 < total then compact t
+
+(* --- mutations --- *)
+
+let check_arity t (row : Row.t) =
+  if Array.length row <> arity t then
+    Error.fail "table %S expects %d columns, got %d" t.name (arity t)
+      (Array.length row)
+
+(** Plain append; raises on PK violation. *)
+let insert t (row : Row.t) : unit =
+  check_arity t row;
+  (match t.pk_index with
+   | Some pk ->
+     let key = pk_key t row in
+     if Art.mem pk key then
+       Error.fail "duplicate key in table %S: %s" t.name (Row.to_string row)
+   | None -> ());
+  let slot = Vec.push t.slots (Some row) in
+  t.live <- t.live + 1;
+  (match t.pk_index with
+   | Some pk -> Art.insert pk (pk_key t row) slot
+   | None -> ());
+  List.iter (fun ix -> index_add_row ix slot row) t.secondary
+
+(** Result of an upsert, so triggers can report the net change. *)
+type upsert_outcome =
+  | Inserted
+  | Replaced of Row.t  (** the displaced row *)
+
+(** INSERT OR REPLACE: requires a primary key. *)
+let upsert t (row : Row.t) : upsert_outcome =
+  check_arity t row;
+  match t.pk_index with
+  | None -> Error.fail "INSERT OR REPLACE on table %S without a primary key" t.name
+  | Some pk ->
+    let key = pk_key t row in
+    (match Art.find pk key with
+     | Some slot ->
+       (match Vec.get t.slots slot with
+        | Some old ->
+          List.iter (fun ix -> index_remove_row ix slot old) t.secondary;
+          Vec.set t.slots slot (Some row);
+          List.iter (fun ix -> index_add_row ix slot row) t.secondary;
+          Replaced old
+        | None ->
+          (* dangling index entry: repair by treating as insert *)
+          ignore (Art.remove pk key);
+          insert t row;
+          Inserted)
+     | None ->
+       insert t row;
+       Inserted)
+
+(** Insert skipping duplicates (ON CONFLICT DO NOTHING). Returns true when
+    the row was inserted. *)
+let insert_ignore t (row : Row.t) : bool =
+  check_arity t row;
+  match t.pk_index with
+  | None -> insert t row; true
+  | Some pk ->
+    if Art.mem pk (pk_key t row) then false
+    else begin insert t row; true end
+
+let delete_slot t slot : Row.t option =
+  match Vec.get t.slots slot with
+  | None -> None
+  | Some row ->
+    Vec.set t.slots slot None;
+    t.live <- t.live - 1;
+    (match t.pk_index with
+     | Some pk -> ignore (Art.remove pk (pk_key t row))
+     | None -> ());
+    List.iter (fun ix -> index_remove_row ix slot row) t.secondary;
+    Some row
+
+(** Delete all rows matching [predicate]; returns them. *)
+let delete_where t (predicate : Row.t -> bool) : Row.t list =
+  let victims = ref [] in
+  iter_slots (fun slot row -> if predicate row then victims := (slot, row) :: !victims) t;
+  let deleted =
+    List.filter_map (fun (slot, _) -> delete_slot t slot) !victims
+  in
+  maybe_compact t;
+  List.rev deleted
+
+(** In-place update; returns (old, new) pairs. PK updates are supported by
+    delete+insert underneath. *)
+let update_where t (predicate : Row.t -> bool) (transform : Row.t -> Row.t) :
+  (Row.t * Row.t) list =
+  let targets = ref [] in
+  iter_slots (fun slot row -> if predicate row then targets := (slot, row) :: !targets) t;
+  let changed = ref [] in
+  List.iter
+    (fun (slot, old) ->
+       let fresh = transform old in
+       check_arity t fresh;
+       ignore (delete_slot t slot);
+       insert t fresh;
+       changed := (old, fresh) :: !changed)
+    (List.rev !targets);
+  maybe_compact t;
+  List.rev !changed
+
+let truncate t : int =
+  let n = t.live in
+  Vec.clear t.slots;
+  (match t.pk_index with Some _ -> t.pk_index <- Some (Art.create ()) | None -> ());
+  List.iter (fun ix -> ix.art <- Art.create ()) t.secondary;
+  t.live <- 0;
+  n
+
+(** Rows whose index key equals [key] under secondary index [ix]. *)
+let index_lookup t (ix : index) (key : string) : Row.t list =
+  match Art.find ix.art key with
+  | None -> []
+  | Some slots ->
+    List.filter_map
+      (fun slot ->
+         match Vec.get t.slots slot with Some r -> Some r | None -> None)
+      (List.rev slots)
+
+(** Live slots whose index key equals [key]. *)
+let index_slots t (ix : index) (key : string) : int list =
+  match Art.find ix.art key with
+  | None -> []
+  | Some slots ->
+    List.filter (fun slot -> Vec.get t.slots slot <> None) (List.rev slots)
+
+let pk_slot t (key : string) : int option =
+  match t.pk_index with
+  | None -> None
+  | Some pk -> Art.find pk key
+
+let pk_lookup t (key : string) : Row.t option =
+  match t.pk_index with
+  | None -> None
+  | Some pk ->
+    (match Art.find pk key with
+     | None -> None
+     | Some slot -> Vec.get t.slots slot)

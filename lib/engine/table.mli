@@ -1,0 +1,64 @@
+(** Heap table storage: rows in tombstoned slots of a growable vector, an
+    optional ART primary-key index mapping encoded keys to slots, and
+    secondary ART indexes. Compaction rebuilds storage and indexes when
+    more than half the slots are dead. *)
+
+type index = {
+  index_name : string;
+  key_positions : int array;
+  unique : bool;
+  mutable art : int list Art.t;  (** encoded key -> live slots *)
+}
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  primary_key : int array;  (** column positions; empty = no PK *)
+  slots : Row.t option Vec.t;
+  mutable live : int;
+  mutable pk_index : int Art.t option;
+  mutable secondary : index list;
+}
+
+val create : name:string -> schema:Schema.t -> primary_key:int array -> t
+
+val arity : t -> int
+val row_count : t -> int
+
+val key_of_row : int array -> Row.t -> string
+val pk_key : t -> Row.t -> string
+
+val iter_rows : (Row.t -> unit) -> t -> unit
+val iter_slots : (int -> Row.t -> unit) -> t -> unit
+val to_rows : t -> Row.t list
+
+val find_secondary : t -> string -> index option
+val secondary_on : t -> int array -> index option
+val create_index :
+  t -> index_name:string -> key_positions:int array -> unique:bool -> index
+val drop_index : t -> index_name:string -> unit
+
+val compact : t -> unit
+
+val insert : t -> Row.t -> unit
+(** Raises {!Error.Sql_error} on arity mismatch or PK violation. *)
+
+type upsert_outcome =
+  | Inserted
+  | Replaced of Row.t  (** the displaced row *)
+
+val upsert : t -> Row.t -> upsert_outcome
+(** INSERT OR REPLACE through the PK index; requires a primary key. *)
+
+val insert_ignore : t -> Row.t -> bool
+(** ON CONFLICT DO NOTHING; returns whether the row was inserted. *)
+
+val delete_slot : t -> int -> Row.t option
+val delete_where : t -> (Row.t -> bool) -> Row.t list
+val update_where : t -> (Row.t -> bool) -> (Row.t -> Row.t) -> (Row.t * Row.t) list
+val truncate : t -> int
+
+val index_lookup : t -> index -> string -> Row.t list
+val index_slots : t -> index -> string -> int list
+val pk_slot : t -> string -> int option
+val pk_lookup : t -> string -> Row.t option

@@ -1,0 +1,45 @@
+(** DML change hooks.
+
+    The paper's two capture mechanisms — DuckDB optimizer rules that
+    intercept INSERT/UPDATE/DELETE, and PostgreSQL user-configured triggers
+    — are both modelled by after-statement callbacks receiving the changed
+    rows. The IVM runner and the HTAP OLTP simulator register hooks that
+    append the changes to delta tables. *)
+
+type change = {
+  table : string;
+  inserted : Row.t list;  (** rows added (for UPDATE: the new images) *)
+  deleted : Row.t list;   (** rows removed (for UPDATE: the old images) *)
+}
+
+type hook = change -> unit
+
+type t = {
+  mutable hooks : (string option * string * hook) list;
+      (** (table filter, hook name, callback); None = all tables *)
+  mutable enabled : bool;
+}
+
+let create () = { hooks = []; enabled = true }
+
+let register t ?table ~name hook =
+  t.hooks <- (table, name, hook) :: t.hooks
+
+let unregister t ~name =
+  t.hooks <- List.filter (fun (_, n, _) -> not (String.equal n name)) t.hooks
+
+let fire t (change : change) =
+  if t.enabled && (change.inserted <> [] || change.deleted <> []) then
+    List.iter
+      (fun (filter, _, hook) ->
+         match filter with
+         | Some tbl when not (String.equal tbl change.table) -> ()
+         | _ -> hook change)
+      (List.rev t.hooks)
+
+(** Run [f] with hooks disabled — used when the IVM runner itself mutates
+    delta tables, which must not re-trigger capture. *)
+let without_hooks t f =
+  let prev = t.enabled in
+  t.enabled <- false;
+  Fun.protect ~finally:(fun () -> t.enabled <- prev) f

@@ -1,0 +1,28 @@
+(** DML change hooks — the engine-side model of both of the paper's
+    capture mechanisms (DuckDB optimizer rules intercepting DML, and
+    PostgreSQL row triggers). *)
+
+type change = {
+  table : string;
+  inserted : Row.t list;  (** for UPDATE: the new images *)
+  deleted : Row.t list;   (** for UPDATE: the old images *)
+}
+
+type hook = change -> unit
+
+type t
+
+val create : unit -> t
+
+val register : t -> ?table:string -> name:string -> hook -> unit
+(** [table = None] fires on every table. Names are used by
+    {!unregister}. *)
+
+val unregister : t -> name:string -> unit
+
+val fire : t -> change -> unit
+(** Invoke matching hooks (no-op for empty changes or when disabled). *)
+
+val without_hooks : t -> (unit -> 'a) -> 'a
+(** Run with hooks disabled — the IVM runner's own writes must not
+    re-trigger capture. *)

@@ -1,0 +1,40 @@
+(** Runtime values and their total order, hashing, and order-preserving
+    byte encoding (the ART key format). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Date of int  (** days since 1970-01-01 *)
+
+val type_name : t -> string
+val is_null : t -> bool
+
+val days_from_civil : year:int -> month:int -> day:int -> int
+val civil_from_days : int -> int * int * int
+val date_of_string : string -> t
+(** Parse [YYYY-MM-DD]; raises {!Error.Sql_error} on malformed input. *)
+
+val date_to_string : int -> string
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val compare : t -> t -> int
+(** Total order used by ORDER BY / GROUP BY / indexes: NULL first, then
+    booleans, numerics (ints and floats compare numerically), strings,
+    dates. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+(** Consistent with [equal] (integral floats hash like the equal int). *)
+
+val as_float : t -> float
+val as_int : t -> int
+val as_bool : t -> bool
+
+val encode_key : t array -> string
+(** Injective, order-preserving byte encoding of a value tuple, used as
+    ART index keys. *)

@@ -1,0 +1,26 @@
+(** The cross-system transfer layer (the paper's DuckDB↔PostgreSQL link):
+    rows are serialized to a wire format and back, with a configurable
+    per-batch latency and per-row cost — the knob separating "pure" from
+    "cross-system" numbers in experiment E3. *)
+
+open Openivm_engine
+
+type t = {
+  batch_latency : float;
+  per_row_cost : float;
+  mutable batches : int;
+  mutable rows_shipped : int;
+  mutable bytes_shipped : int;
+}
+
+val create : ?batch_latency:float -> ?per_row_cost:float -> unit -> t
+(** Defaults: 200µs per batch, 0.2µs per row. *)
+
+val serialize_row : Row.t -> string
+val deserialize_row : string -> Row.t
+
+val ship : t -> Row.t list -> Row.t list
+(** Serialize, pay the transfer cost, deserialize on the far side. *)
+
+val stats : t -> int * int * int
+(** (batches, rows, bytes) shipped so far. *)

@@ -1,0 +1,80 @@
+(** The OLTP side of the cross-system pipeline (the paper's PostgreSQL).
+
+    A second engine instance configured with a per-statement latency that
+    models the client/server round trip an embedded engine does not pay,
+    plus the paper's user-configured capture triggers: every change to a
+    registered base table is appended to an OLTP-side delta table with the
+    boolean multiplicity. *)
+
+open Openivm_engine
+
+type capture = {
+  base : string;
+  delta : string;
+  mutable rows_captured : int;
+}
+
+type t = {
+  db : Database.t;
+  multiplicity_column : string;
+  mutable captures : capture list;
+}
+
+(** [latency] — seconds added per statement (default models a local
+    PostgreSQL round trip). *)
+let create ?(name = "postgres") ?(latency = 20e-6)
+    ?(multiplicity_column = "_ivm_multiplicity") () : t =
+  let db = Database.create ~name () in
+  Database.set_statement_latency db latency;
+  { db; multiplicity_column; captures = [] }
+
+let db t = t.db
+let exec t sql = Database.exec t.db sql
+let query t sql = Database.query t.db sql
+
+let capture_of t base =
+  match List.find_opt (fun c -> String.equal c.base base) t.captures with
+  | Some c -> c
+  | None -> Error.fail "no delta capture registered on table %S" base
+
+(** Register delta capture on [base] into [delta] (created if missing) —
+    the engine-side equivalent of installing the generated PostgreSQL
+    trigger DDL. *)
+let register_capture t ~(base : string) ~(delta : string) : unit =
+  let catalog = Database.catalog t.db in
+  let base_tbl = Catalog.find_table catalog base in
+  if not (Catalog.table_exists catalog delta) then begin
+    let delta_schema =
+      List.map (fun c -> { c with Schema.table = Some delta }) base_tbl.Table.schema
+      @ [ Schema.column ~table:delta t.multiplicity_column Openivm_sql.Ast.T_bool ]
+    in
+    Catalog.add_table catalog
+      (Table.create ~name:delta ~schema:delta_schema ~primary_key:[||])
+  end;
+  let cap = { base; delta; rows_captured = 0 } in
+  t.captures <- cap :: t.captures;
+  Trigger.register (Database.triggers t.db) ~table:base
+    ~name:("openivm_capture_" ^ base ^ "_" ^ delta)
+    (fun change ->
+       let delta_tbl = Catalog.find_table catalog delta in
+       Trigger.without_hooks (Database.triggers t.db) (fun () ->
+           let emit mult row =
+             Table.insert delta_tbl (Array.append row [| Value.Bool mult |]);
+             cap.rows_captured <- cap.rows_captured + 1
+           in
+           List.iter (emit false) change.Trigger.deleted;
+           List.iter (emit true) change.Trigger.inserted))
+
+(** Drain the delta rows captured for [base] (returns them and clears the
+    OLTP-side delta table). *)
+let drain t ~(base : string) : Row.t list =
+  let cap = capture_of t base in
+  let catalog = Database.catalog t.db in
+  let delta_tbl = Catalog.find_table catalog cap.delta in
+  let rows = Table.to_rows delta_tbl in
+  ignore (Table.truncate delta_tbl);
+  rows
+
+let pending t ~base =
+  let cap = capture_of t base in
+  Table.row_count (Catalog.find_table (Database.catalog t.db) cap.delta)

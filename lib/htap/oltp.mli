@@ -1,0 +1,26 @@
+(** The OLTP side of the cross-system pipeline (the paper's PostgreSQL): a
+    second engine instance with per-statement latency plus delta-capture
+    triggers appending multiplicity-tagged row images into delta tables. *)
+
+open Openivm_engine
+
+type t
+
+val create :
+  ?name:string -> ?latency:float -> ?multiplicity_column:string -> unit -> t
+(** [latency] (seconds per statement) models the client/server round trip;
+    defaults to 20µs. *)
+
+val db : t -> Database.t
+val exec : t -> string -> Database.exec_result
+val query : t -> string -> Database.query_result
+
+val register_capture : t -> base:string -> delta:string -> unit
+(** Install the engine-side equivalent of the generated PostgreSQL capture
+    trigger: changes to [base] append OLD/NEW images into [delta] (created
+    if missing) with the boolean multiplicity. *)
+
+val drain : t -> base:string -> Row.t list
+(** Return and clear the captured delta rows for [base]. *)
+
+val pending : t -> base:string -> int

@@ -1,0 +1,146 @@
+(** Cross-system IVM orchestration (paper Figure 3): a transactional
+    workload runs against the OLTP engine; captured deltas travel over the
+    bridge into the OLAP engine's delta tables; the compiled propagation
+    script folds them into the materialized view.
+
+    Views whose propagation reads base tables (joins, MIN/MAX rederive)
+    additionally need OLAP-side *replicas* of the base tables — the stand-
+    in for the paper's DuckDB-reads-PostgreSQL scanner; the bridge keeps
+    them in sync from the same delta stream. *)
+
+open Openivm_engine
+
+type t = {
+  oltp : Oltp.t;
+  olap : Database.t;
+  bridge : Bridge.t;
+  view : Openivm.Runner.view;
+  base_tables : string list;
+  needs_replica : bool;
+  mutable syncs : int;
+}
+
+let view t = t.view
+let olap t = t.olap
+let oltp t = t.oltp
+
+(** Does the propagation script reference the base tables on the OLAP
+    side? Linear single-table scripts touch only delta tables. *)
+let propagation_needs_base (compiled : Openivm.Compiler.t) : bool =
+  match compiled.Openivm.Compiler.script.Openivm.Propagate.kind with
+  | Openivm.Propagate.Linear | Openivm.Propagate.Regroup
+  | Openivm.Propagate.Outer_merge | Openivm.Propagate.Global_linear ->
+    (match compiled.Openivm.Compiler.shape.Openivm.Shape.source with
+     | Openivm.Shape.Single _ -> false
+     | Openivm.Shape.Joined _ -> true)
+  | Openivm.Propagate.Rederive | Openivm.Propagate.Full -> true
+
+(** Set up the pipeline: [schema_sql] (CREATE TABLEs) runs on both sides;
+    [view_sql] is compiled and installed on the OLAP side; capture
+    triggers are registered on the OLTP side. *)
+let create ?(flags = Openivm.Flags.default) ?oltp_latency ?bridge
+    ~(schema_sql : string) ~(view_sql : string) () : t =
+  let oltp = Oltp.create ?latency:oltp_latency () in
+  let olap = Database.create ~name:"duckdb" () in
+  let bridge = match bridge with Some b -> b | None -> Bridge.create () in
+  ignore (Database.exec_script (Oltp.db oltp) schema_sql);
+  (* base tables also exist on the OLAP side: empty replicas when the
+     propagation needs them, or mere schema stubs for compilation *)
+  ignore (Database.exec_script olap schema_sql);
+  let v = Openivm.Runner.install ~flags olap view_sql in
+  (* deltas arrive via the bridge, not via OLAP-side capture *)
+  v.Openivm.Runner.capture_enabled <- false;
+  let base_tables = Openivm.Compiler.base_tables v.Openivm.Runner.compiled in
+  List.iter
+    (fun base ->
+       Oltp.register_capture oltp ~base
+         ~delta:(Openivm.Compiler.delta_table v.Openivm.Runner.compiled base))
+    base_tables;
+  { oltp; olap; bridge; view = v; base_tables;
+    needs_replica = propagation_needs_base v.Openivm.Runner.compiled;
+    syncs = 0 }
+
+(** Apply one shipped delta row (base row + multiplicity) to the OLAP
+    replica of [base]: insert on true, remove one matching row on false. *)
+let apply_to_replica t ~(base : string) (delta_row : Row.t) : unit =
+  let catalog = Database.catalog t.olap in
+  let tbl = Catalog.find_table catalog base in
+  let arity = Array.length delta_row - 1 in
+  let image = Array.sub delta_row 0 arity in
+  match delta_row.(arity) with
+  | Value.Bool true -> Table.insert tbl image
+  | Value.Bool false ->
+    (* remove a single occurrence *)
+    let found = ref None in
+    Table.iter_slots
+      (fun slot row -> if !found = None && Row.equal row image then found := Some slot)
+      tbl;
+    (match !found with
+     | Some slot -> ignore (Table.delete_slot tbl slot)
+     | None -> ())
+  | _ -> Error.fail "delta row without boolean multiplicity"
+
+(** Move pending deltas OLTP → OLAP (serialize, pay the wire, land them in
+    the OLAP delta tables and replicas). *)
+let sync t : int =
+  let moved = ref 0 in
+  let catalog = Database.catalog t.olap in
+  Trigger.without_hooks (Database.triggers t.olap) (fun () ->
+      List.iter
+        (fun base ->
+           let rows = Oltp.drain t.oltp ~base in
+           if rows <> [] then begin
+             let landed = Bridge.ship t.bridge rows in
+             let delta_name =
+               Openivm.Compiler.delta_table t.view.Openivm.Runner.compiled base
+             in
+             let delta_tbl = Catalog.find_table catalog delta_name in
+             List.iter
+               (fun row ->
+                  Table.insert delta_tbl row;
+                  if t.needs_replica then apply_to_replica t ~base row)
+               landed;
+             moved := !moved + List.length landed
+           end)
+        t.base_tables);
+  if !moved > 0 then
+    t.view.Openivm.Runner.pending_deltas <-
+      t.view.Openivm.Runner.pending_deltas + !moved;
+  t.syncs <- t.syncs + 1;
+  !moved
+
+(** Run a transactional statement on the OLTP side. *)
+let exec_oltp t sql = Oltp.exec t.oltp sql
+
+(** Query the materialized view: sync the bridge, lazily refresh, read. *)
+let query t (sql : string) : Database.query_result =
+  ignore (sync t);
+  Openivm.Runner.query t.view sql
+
+let view_contents ?order_by t : Database.query_result =
+  ignore (sync t);
+  Openivm.Runner.contents ?order_by t.view
+
+(** The non-IVM cross-system baseline: ship the *entire* base tables over
+    the bridge into scratch tables and recompute the defining query — what
+    running the analytical query through a remote scanner costs. *)
+let query_without_ivm t : Database.query_result =
+  let scratch = Database.create ~name:"duckdb_scratch" () in
+  let catalog = Database.catalog (Oltp.db t.oltp) in
+  List.iter
+    (fun base ->
+       let tbl = Catalog.find_table catalog base in
+       let schema =
+         List.map (fun c -> { c with Schema.table = Some base }) tbl.Table.schema
+       in
+       Catalog.add_table (Database.catalog scratch)
+         (Table.create ~name:base ~schema ~primary_key:[||]);
+       let shipped = Bridge.ship t.bridge (Table.to_rows tbl) in
+       let dst = Catalog.find_table (Database.catalog scratch) base in
+       List.iter (Table.insert dst) shipped)
+    t.base_tables;
+  let view_query =
+    t.view.Openivm.Runner.compiled.Openivm.Compiler.shape.Openivm.Shape.query
+  in
+  Database.query scratch
+    (Openivm_sql.Pretty.select_to_sql Openivm_sql.Dialect.minidb view_query)

@@ -1,0 +1,49 @@
+(** Cross-system IVM orchestration (paper Figure 3): a transactional
+    workload runs against the OLTP engine; captured deltas travel over the
+    bridge into the OLAP engine's delta tables; the compiled propagation
+    script folds them into the materialized view. Views whose propagation
+    reads base tables (joins, MIN/MAX rederivation) additionally keep
+    OLAP-side replicas in sync from the same delta stream. *)
+
+open Openivm_engine
+
+type t = {
+  oltp : Oltp.t;
+  olap : Database.t;
+  bridge : Bridge.t;
+  view : Openivm.Runner.view;
+  base_tables : string list;
+  needs_replica : bool;
+  mutable syncs : int;
+}
+
+val create :
+  ?flags:Openivm.Flags.t ->
+  ?oltp_latency:float ->
+  ?bridge:Bridge.t ->
+  schema_sql:string ->
+  view_sql:string ->
+  unit ->
+  t
+(** [schema_sql] (CREATE TABLE statements, [;]-separated) runs on both
+    engines; [view_sql] is compiled and installed on the OLAP side;
+    capture triggers are registered on the OLTP side. *)
+
+val view : t -> Openivm.Runner.view
+val olap : t -> Database.t
+val oltp : t -> Oltp.t
+
+val exec_oltp : t -> string -> Database.exec_result
+(** Run a transactional statement on the OLTP side. *)
+
+val sync : t -> int
+(** Ship pending deltas OLTP → OLAP; returns the number of rows moved. *)
+
+val query : t -> string -> Database.query_result
+(** Sync, lazily refresh, then query the OLAP side. *)
+
+val view_contents : ?order_by:string -> t -> Database.query_result
+
+val query_without_ivm : t -> Database.query_result
+(** The non-IVM cross-system baseline: ship the entire base tables over
+    the bridge and recompute the defining query. *)

@@ -1,0 +1,37 @@
+(** Architecture notes for the cross-system pipeline (documentation
+    module; no code).
+
+    {1 Delta flow (paper Figure 3)}
+
+    {v
+      OLTP engine ("postgres")            OLAP engine ("duckdb")
+      ------------------------            ----------------------
+      base tables  --triggers-->  delta_T
+                                    |  Oltp.drain
+                                    v
+                                 Bridge.ship  (serialize, latency, deserialize)
+                                    |
+                                    v
+                              OLAP delta_T tables --+--> replicas (joins/minmax)
+                                                    |
+                                         Runner.refresh (compiled SQL script)
+                                                    |
+                                                    v
+                                            materialized view V
+    v}
+
+    {1 Consistency model}
+
+    A [Pipeline.query] observes a prefix-consistent snapshot: all deltas
+    captured before the call are shipped ([sync]) and folded ([refresh])
+    before the SELECT runs, so the answer equals recomputing the view
+    query over the OLTP state at call time. Between queries the view may
+    lag (lazy refresh) — the recency/throughput trade-off of paper §1.
+
+    {1 What "cross-system" costs}
+
+    The bridge charges serialization plus a configurable batch latency and
+    per-row cost; the OLTP engine charges a per-statement round trip.
+    These are the only knobs separating E3's four deployments, which makes
+    the comparison transparent in the paper's sense: everything else is
+    the same engine code. *)

@@ -1,0 +1,67 @@
+(** Transactional workload generator for the HTAP scenario: batches of
+    INSERT / UPDATE / DELETE statements against the base tables, with a
+    seeded RNG for reproducibility. *)
+
+type mix = {
+  insert_pct : int;
+  update_pct : int;
+  delete_pct : int;  (** must sum to 100 *)
+}
+
+let default_mix = { insert_pct = 70; update_pct = 20; delete_pct = 10 }
+
+type t = {
+  rng : Random.State.t;
+  mix : mix;
+  group_domain : int;    (** number of distinct group keys *)
+  value_range : int;
+  mutable next_id : int;
+}
+
+let create ?(seed = 42) ?(mix = default_mix) ?(group_domain = 100)
+    ?(value_range = 1000) () : t =
+  if mix.insert_pct + mix.update_pct + mix.delete_pct <> 100 then
+    invalid_arg "Txgen.create: mix must sum to 100";
+  { rng = Random.State.make [| seed |]; mix; group_domain; value_range;
+    next_id = 0 }
+
+let group_key t =
+  Printf.sprintf "g%04d" (Random.State.int t.rng t.group_domain)
+
+let value t = Random.State.int t.rng t.value_range - (t.value_range / 2)
+
+(** One statement against the paper's groups(group_index, group_value)
+    schema. Updates and deletes are row-targeted (a narrow residue-class
+    predicate on top of the group key), matching the few-rows-per-
+    statement footprint of a transactional application. *)
+let statement t : string =
+  let roll = Random.State.int t.rng 100 in
+  if roll < t.mix.insert_pct then
+    Printf.sprintf "INSERT INTO groups VALUES ('%s', %d)" (group_key t) (value t)
+  else if roll < t.mix.insert_pct + t.mix.update_pct then
+    Printf.sprintf
+      "UPDATE groups SET group_value = group_value + %d WHERE group_index = \
+       '%s' AND group_value %% 97 = %d"
+      (1 + Random.State.int t.rng 10)
+      (group_key t)
+      (Random.State.int t.rng 97)
+  else
+    Printf.sprintf
+      "DELETE FROM groups WHERE group_index = '%s' AND group_value %% 97 = %d"
+      (group_key t)
+      (Random.State.int t.rng 97)
+
+let batch t n : string list = List.init n (fun _ -> statement t)
+
+(** Statements seeding [n] initial rows. *)
+let seed_rows t n : string list =
+  let row () = Printf.sprintf "('%s', %d)" (group_key t) (value t) in
+  let rec chunks remaining acc =
+    if remaining <= 0 then List.rev acc
+    else begin
+      let k = min 500 remaining in
+      let values = String.concat ", " (List.init k (fun _ -> row ())) in
+      chunks (remaining - k) (("INSERT INTO groups VALUES " ^ values) :: acc)
+    end
+  in
+  chunks n []

@@ -1,0 +1,23 @@
+(** Seeded transactional workload generator over the paper's
+    groups(group_index, group_value) schema: row-targeted INSERT / UPDATE /
+    DELETE statements in a configurable mix. *)
+
+type mix = {
+  insert_pct : int;
+  update_pct : int;
+  delete_pct : int;  (** must sum to 100 *)
+}
+
+val default_mix : mix
+(** 70 / 20 / 10. *)
+
+type t
+
+val create :
+  ?seed:int -> ?mix:mix -> ?group_domain:int -> ?value_range:int -> unit -> t
+(** Raises [Invalid_argument] if the mix does not sum to 100. *)
+
+val statement : t -> string
+val batch : t -> int -> string list
+val seed_rows : t -> int -> string list
+(** Multi-row INSERT statements seeding [n] initial rows. *)

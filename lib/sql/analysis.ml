@@ -1,0 +1,107 @@
+(** Static analysis over the SQL AST: query classification and column
+    reference collection. Used by the IVM rewriter to decide which
+    propagation template applies. *)
+
+(** Query shape classification, mirroring the paper's supported classes. *)
+type query_class =
+  | Projection        (** SELECT cols FROM t [WHERE ...] — no aggregation *)
+  | Filter            (** like Projection but with a WHERE clause *)
+  | Group_aggregate   (** GROUP BY + aggregates (or global aggregates) *)
+  | Join_flat         (** two-table join, no aggregation *)
+  | Join_aggregate    (** two-table join under GROUP BY + aggregates *)
+  | Unsupported of string
+
+let class_to_string = function
+  | Projection -> "projection"
+  | Filter -> "filter"
+  | Group_aggregate -> "group_aggregate"
+  | Join_flat -> "join"
+  | Join_aggregate -> "join_aggregate"
+  | Unsupported reason -> "unsupported: " ^ reason
+
+let rec count_base_tables = function
+  | Ast.Table_ref _ -> 1
+  | Ast.Subquery _ -> -1000 (* derived tables are out of scope for IVM *)
+  | Ast.Join (l, _, r, _) -> count_base_tables l + count_base_tables r
+
+let classify (s : Ast.select) : query_class =
+  if s.ctes <> [] then Unsupported "CTE in view definition"
+  else if s.set_operation <> None then Unsupported "set operation in view definition"
+  else if s.distinct then Unsupported "DISTINCT in view definition"
+  else if s.limit <> None || s.offset <> None then Unsupported "LIMIT in view definition"
+  else
+    match s.from with
+    | None -> Unsupported "view without FROM clause"
+    | Some f ->
+      let tables = count_base_tables f in
+      let aggregated = Ast.select_has_aggregate s in
+      if tables < 0 then Unsupported "derived table in view definition"
+      else if tables = 1 then
+        if aggregated then Group_aggregate
+        else if s.where <> None then Filter
+        else Projection
+      else if tables <= 4 then
+        if aggregated then Join_aggregate else Join_flat
+      else Unsupported "more than four base tables"
+
+(** Column references of an expression, as (qualifier option, name) pairs. *)
+let rec expr_columns acc = function
+  | Ast.Column (q, c) -> (q, c) :: acc
+  | Ast.Lit _ | Ast.Star -> acc
+  | Ast.Unary (_, e) | Ast.Cast (e, _) | Ast.Is_null (e, _) -> expr_columns acc e
+  | Ast.Binary (_, a, b) | Ast.Like (a, b, _) ->
+    expr_columns (expr_columns acc a) b
+  | Ast.Func (_, args) -> List.fold_left expr_columns acc args
+  | Ast.Aggregate (_, _, arg) ->
+    (match arg with Some e -> expr_columns acc e | None -> acc)
+  | Ast.Case (branches, default) ->
+    let acc =
+      List.fold_left
+        (fun acc (c, v) -> expr_columns (expr_columns acc c) v)
+        acc branches
+    in
+    (match default with Some e -> expr_columns acc e | None -> acc)
+  | Ast.In_list (e, es, _) -> List.fold_left expr_columns acc (e :: es)
+  | Ast.In_select (e, _, _) ->
+    (* the subquery is a separate (uncorrelated) scope *)
+    expr_columns acc e
+  | Ast.Between (e, lo, hi, _) -> List.fold_left expr_columns acc [ e; lo; hi ]
+
+let select_columns (s : Ast.select) =
+  let acc = List.fold_left (fun acc (e, _) -> expr_columns acc e) [] s.projections in
+  let acc = match s.where with Some e -> expr_columns acc e | None -> acc in
+  let acc = List.fold_left expr_columns acc s.group_by in
+  let acc = match s.having with Some e -> expr_columns acc e | None -> acc in
+  List.rev acc
+
+(** The output column name of projection [i]: explicit alias, else a bare
+    column name, else a synthesized [colN] name. Aggregates without alias
+    get the aggregate name. *)
+let projection_name i (e, alias) =
+  match alias with
+  | Some a -> a
+  | None ->
+    (match e with
+     | Ast.Column (_, c) when c <> "*" -> c
+     | Ast.Aggregate (agg, _, _) -> Ast.agg_name agg
+     | _ -> Printf.sprintf "col%d" i)
+
+let output_names (s : Ast.select) =
+  List.mapi projection_name s.projections
+
+(** True when the expression is deterministic and references no columns
+    (safe to constant-fold). *)
+let rec is_constant = function
+  | Ast.Lit _ -> true
+  | Ast.Column _ | Ast.Star | Ast.Aggregate _ -> false
+  | Ast.Unary (_, e) | Ast.Cast (e, _) | Ast.Is_null (e, _) -> is_constant e
+  | Ast.Binary (_, a, b) | Ast.Like (a, b, _) -> is_constant a && is_constant b
+  | Ast.Func (name, args) ->
+    (* random() etc. would be non-deterministic; none are implemented. *)
+    name <> "random" && List.for_all is_constant args
+  | Ast.Case (branches, default) ->
+    List.for_all (fun (c, v) -> is_constant c && is_constant v) branches
+    && (match default with Some e -> is_constant e | None -> true)
+  | Ast.In_list (e, es, _) -> List.for_all is_constant (e :: es)
+  | Ast.In_select _ -> false
+  | Ast.Between (e, lo, hi, _) -> List.for_all is_constant [ e; lo; hi ]

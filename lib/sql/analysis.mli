@@ -1,0 +1,35 @@
+(** Static analysis over the SQL AST: query classification and column
+    reference collection, used by the IVM rewriter to pick a propagation
+    template. *)
+
+type query_class =
+  | Projection        (** single table, no WHERE, no aggregation *)
+  | Filter            (** single table with a WHERE clause *)
+  | Group_aggregate   (** GROUP BY + aggregates, or global aggregates *)
+  | Join_flat         (** two-table join, no aggregation *)
+  | Join_aggregate    (** two-table join under aggregation *)
+  | Unsupported of string
+
+val class_to_string : query_class -> string
+
+val classify : Ast.select -> query_class
+(** Classify a view-defining query against the supported IVM classes. *)
+
+val expr_columns :
+  (string option * string) list -> Ast.expr -> (string option * string) list
+(** Prepend the column references of an expression, as
+    [(qualifier, name)] pairs. Subquery scopes are not entered. *)
+
+val select_columns : Ast.select -> (string option * string) list
+(** Column references of a select's projections, WHERE, GROUP BY and
+    HAVING clauses. *)
+
+val projection_name : int -> Ast.expr * string option -> string
+(** Output name of projection [i]: the explicit alias, a bare column's
+    name, the aggregate's name, or a synthesized [colN]. *)
+
+val output_names : Ast.select -> string list
+
+val is_constant : Ast.expr -> bool
+(** True when the expression references no columns and is deterministic
+    (safe to constant-fold). *)

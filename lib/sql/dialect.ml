@@ -1,0 +1,57 @@
+(** Target SQL dialects for the emitter.
+
+    The paper's compiler emits SQL in "the desired SQL dialect, chosen
+    through a flag" (the Coral-inspired DuckAST layer). The observable
+    differences our emitter must handle are identifier quoting, boolean
+    literals, and — crucially for IVM — the *upsert* syntax used by step 2
+    of the propagation script. *)
+
+type upsert_syntax =
+  | Insert_or_replace
+      (** DuckDB: [INSERT OR REPLACE INTO t ...]; requires a PK/ART index. *)
+  | On_conflict_do_update
+      (** PostgreSQL: [INSERT INTO t ... ON CONFLICT (keys) DO UPDATE SET
+          c = EXCLUDED.c, ...]. *)
+
+type t = {
+  name : string;
+  upsert : upsert_syntax;
+  quote_char : char;
+}
+
+let duckdb = { name = "duckdb"; upsert = Insert_or_replace; quote_char = '"' }
+
+let postgres =
+  { name = "postgres"; upsert = On_conflict_do_update; quote_char = '"' }
+
+(** The built-in Minidb engine speaks the DuckDB dialect. *)
+let minidb = { duckdb with name = "minidb" }
+
+let all = [ duckdb; postgres; minidb ]
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "duckdb" -> Some duckdb
+  | "postgres" | "postgresql" -> Some postgres
+  | "minidb" -> Some minidb
+  | _ -> None
+
+(* Identifiers composed of lowercase letters, digits and underscores need no
+   quoting in either dialect. *)
+let needs_quoting ident =
+  ident = ""
+  || Token.is_keyword (String.lowercase_ascii ident)
+  || (let bad = ref false in
+      String.iteri
+        (fun i c ->
+           let ok =
+             (c >= 'a' && c <= 'z') || c = '_'
+             || (i > 0 && c >= '0' && c <= '9')
+           in
+           if not ok then bad := true)
+        ident;
+      !bad)
+
+let quote_ident d ident =
+  if needs_quoting ident then Printf.sprintf "%c%s%c" d.quote_char ident d.quote_char
+  else ident

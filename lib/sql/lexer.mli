@@ -1,0 +1,15 @@
+(** Hand-written SQL lexer. *)
+
+exception Error of string * int
+(** [Error (message, byte_offset)]. *)
+
+type positioned = {
+  tok : Token.t;
+  pos : int;  (** byte offset of the token's first character *)
+}
+
+val tokenize : string -> positioned list
+(** Tokenize a SQL string. The result always ends with {!Token.Eof}.
+    Comments ([-- ...] and nested [/* ... */]) and whitespace are skipped;
+    keywords are recognized case-insensitively; unquoted identifiers are
+    lower-cased. Raises {!Error} on malformed input. *)

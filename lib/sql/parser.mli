@@ -1,0 +1,21 @@
+(** Recursive-descent parser for the OpenIVM SQL fragment: SELECT with
+    CTEs, joins, grouping, aggregates, set operations and uncorrelated IN
+    subqueries; CREATE TABLE / (MATERIALIZED) VIEW / INDEX; INSERT
+    (including OR REPLACE and ON CONFLICT DO NOTHING); UPDATE; DELETE;
+    DROP; TRUNCATE; EXPLAIN; BEGIN/COMMIT/ROLLBACK. *)
+
+exception Error of string * int
+(** [Error (message, byte_offset)]. *)
+
+val parse_statement : string -> Ast.stmt
+(** Parse exactly one statement (an optional trailing [;] is allowed).
+    Raises {!Error} or {!Lexer.Error}. *)
+
+val parse_script : string -> Ast.stmt list
+(** Parse a [;]-separated script; empty statements are skipped. *)
+
+val parse_expression : string -> Ast.expr
+(** Parse a scalar expression (used by tests and tools). *)
+
+val parse_select : string -> Ast.select
+(** Parse a statement and require it to be a SELECT. *)

@@ -1,0 +1,24 @@
+(** SQL emitter: AST back to a SQL string in a chosen dialect. Printing is
+    precedence-aware; [parse (print x)] prints back to [print x] (property
+    tested). *)
+
+val lit_to_sql : Ast.lit -> string
+
+val expr_to_sql : Dialect.t -> Ast.expr -> string
+
+val select_to_sql : Dialect.t -> Ast.select -> string
+
+val stmt_to_sql :
+  ?upsert_keys:string list ->
+  ?upsert_update:string list ->
+  Dialect.t ->
+  Ast.stmt ->
+  string
+(** Emit a statement. For dialects whose upsert is
+    [ON CONFLICT (keys) DO UPDATE] (PostgreSQL), [upsert_keys] supplies the
+    conflict-target columns of any [INSERT OR REPLACE] statement and
+    [upsert_update] the columns to refresh (defaults to the insert's
+    columns minus the keys). *)
+
+val script_to_sql : ?dialect:Dialect.t -> Ast.stmt list -> string
+(** Statements joined by [;\n], with a trailing separator. *)

@@ -1,0 +1,77 @@
+(** Lexical tokens of the SQL dialect understood by OpenIVM. *)
+
+type t =
+  | Ident of string      (** unquoted identifier, already lower-cased *)
+  | Quoted_ident of string  (** "quoted" identifier, case preserved *)
+  | Keyword of string    (** reserved word, lower-cased *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Semicolon
+  | Dot
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Percent
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Concat_op            (** [||] *)
+  | Eof
+
+(* Keywords are recognized case-insensitively; everything else lexes as an
+   identifier. The list covers the grammar in Parser plus words reserved for
+   forward compatibility. *)
+let keywords =
+  [ "select"; "from"; "where"; "group"; "by"; "having"; "order"; "limit";
+    "offset"; "as"; "and"; "or"; "not"; "null"; "true"; "false"; "is";
+    "in"; "between"; "like"; "case"; "when"; "then"; "else"; "end";
+    "cast"; "distinct"; "all"; "union"; "except"; "intersect"; "join";
+    "inner"; "left"; "right"; "full"; "outer"; "cross"; "on"; "using";
+    "create"; "table"; "view"; "materialized"; "index"; "unique"; "drop";
+    "insert"; "into"; "values"; "update"; "set"; "delete"; "replace";
+    "primary"; "key"; "references"; "default"; "if"; "exists"; "with";
+    "asc"; "desc"; "explain"; "begin"; "commit"; "rollback"; "integer";
+    "int"; "bigint"; "float"; "double"; "real"; "varchar"; "text";
+    "boolean"; "bool"; "date"; "or"; "conflict"; "do"; "nothing";
+    "nulls"; "first"; "last"; "truncate" ]
+
+let keyword_set : (string, unit) Hashtbl.t =
+  let h = Hashtbl.create 97 in
+  List.iter (fun k -> Hashtbl.replace h k ()) keywords;
+  h
+
+let is_keyword s = Hashtbl.mem keyword_set s
+
+let to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Quoted_ident s -> Printf.sprintf "quoted identifier %S" s
+  | Keyword s -> String.uppercase_ascii s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | String_lit s -> Printf.sprintf "'%s'" s
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Semicolon -> ";"
+  | Dot -> "."
+  | Star -> "*"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Concat_op -> "||"
+  | Eof -> "<end of input>"

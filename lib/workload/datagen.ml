@@ -1,0 +1,114 @@
+(** Synthetic data generators for the benchmarks and examples: the paper's
+    groups table, a sales/customers star pair, uniform and Zipfian key
+    distributions — all seeded for reproducibility. *)
+
+open Openivm_engine
+
+type t = { rng : Random.State.t }
+
+let create ?(seed = 1234) () = { rng = Random.State.make [| seed |] }
+
+let uniform t n = Random.State.int t.rng n
+
+(** Zipf(s) sampler over [0, n) via rejection-free inverse CDF on a
+    precomputed table (fine for the n <= 1e6 used here). *)
+type zipf = { cdf : float array }
+
+let zipf ?(s = 1.1) n : zipf =
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+       acc := !acc +. (w /. total);
+       cdf.(i) <- !acc)
+    weights;
+  { cdf }
+
+let zipf_sample t (z : zipf) : int =
+  let u = Random.State.float t.rng 1.0 in
+  (* binary search for the first cdf >= u *)
+  let lo = ref 0 and hi = ref (Array.length z.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if z.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* --- the paper's groups table --- *)
+
+let groups_ddl = "CREATE TABLE groups(group_index VARCHAR, group_value INTEGER)"
+
+let group_key i = Printf.sprintf "g%05d" i
+
+(** Populate groups with [rows] rows over [domain] distinct keys. *)
+let populate_groups ?(domain = 1000) (db : Database.t) (t : t) ~rows : unit =
+  let catalog = Database.catalog db in
+  let tbl = Catalog.find_table catalog "groups" in
+  Trigger.without_hooks (Database.triggers db) (fun () ->
+      for _ = 1 to rows do
+        Table.insert tbl
+          [| Value.Str (group_key (uniform t domain));
+             Value.Int (uniform t 1000) |]
+      done)
+
+(** Raw delta rows for the groups table: [(key, value, multiplicity)]. *)
+let groups_delta_rows ?(domain = 1000) ?(delete_fraction = 0.2) (t : t) ~rows :
+  (string * int * bool) list =
+  List.init rows (fun _ ->
+      ( group_key (uniform t domain),
+        uniform t 1000,
+        Random.State.float t.rng 1.0 >= delete_fraction ))
+
+(* --- sales / customers star pair (for join views) --- *)
+
+let sales_ddl =
+  "CREATE TABLE sales(sale_id INTEGER, cust INTEGER, item VARCHAR, amount \
+   INTEGER)"
+
+let customers_ddl = "CREATE TABLE customers(cust INTEGER, region VARCHAR)"
+
+let regions = [| "emea"; "amer"; "apac"; "latam" |]
+
+let populate_customers (db : Database.t) (t : t) ~customers : unit =
+  let tbl = Catalog.find_table (Database.catalog db) "customers" in
+  Trigger.without_hooks (Database.triggers db) (fun () ->
+      for i = 0 to customers - 1 do
+        Table.insert tbl
+          [| Value.Int i;
+             Value.Str regions.(uniform t (Array.length regions)) |]
+      done)
+
+let populate_sales ?(customers = 1000) (db : Database.t) (t : t) ~rows : unit =
+  let tbl = Catalog.find_table (Database.catalog db) "sales" in
+  let z = zipf customers in
+  Trigger.without_hooks (Database.triggers db) (fun () ->
+      for i = 0 to rows - 1 do
+        Table.insert tbl
+          [| Value.Int i;
+             Value.Int (zipf_sample t z);
+             Value.Str (Printf.sprintf "item%03d" (uniform t 500));
+             Value.Int (uniform t 10_000) |]
+      done)
+
+(** Insert a batch of groups-table changes *through SQL DML* so capture
+    triggers fire (used by the IVM benchmarks). *)
+let apply_groups_delta (db : Database.t) (delta : (string * int * bool) list) :
+  unit =
+  let inserts, deletes = List.partition (fun (_, _, m) -> m) delta in
+  if inserts <> [] then begin
+    let values =
+      String.concat ", "
+        (List.map (fun (k, v, _) -> Printf.sprintf "('%s', %d)" k v) inserts)
+    in
+    ignore (Database.exec db ("INSERT INTO groups VALUES " ^ values))
+  end;
+  List.iter
+    (fun (k, v, _) ->
+       ignore
+         (Database.exec db
+            (Printf.sprintf
+               "DELETE FROM groups WHERE group_index = '%s' AND group_value = %d"
+               k v)))
+    deletes

@@ -1,0 +1,26 @@
+(** Wall-clock measurement helpers for the benchmark harness. *)
+
+let time (f : unit -> 'a) : float * 'a =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let time_unit (f : unit -> unit) : float = fst (time f)
+
+(** Best-of-[repeats] timing (reduces scheduler noise without the cost of
+    a full statistical harness; Bechamel covers the micro level). *)
+let best_of ?(repeats = 3) (f : unit -> unit) : float =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let dt = time_unit f in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let ms seconds = seconds *. 1e3
+let us seconds = seconds *. 1e6
+
+let pp_duration seconds =
+  if seconds >= 1.0 then Printf.sprintf "%.2fs" seconds
+  else if seconds >= 1e-3 then Printf.sprintf "%.2fms" (seconds *. 1e3)
+  else Printf.sprintf "%.1fus" (seconds *. 1e6)

@@ -1,0 +1,9 @@
+(** Wall-clock measurement helpers for the benchmark harness. *)
+
+val time : (unit -> 'a) -> float * 'a
+val time_unit : (unit -> unit) -> float
+val best_of : ?repeats:int -> (unit -> unit) -> float
+val ms : float -> float
+val us : float -> float
+val pp_duration : float -> string
+(** "1.23s" / "4.56ms" / "7.8us". *)

@@ -1,0 +1,119 @@
+(** TPC-H-lite: a scaled-down, self-generated slice of the TPC-H schema
+    (customer / orders / lineitem) used by the join-view benchmarks and
+    the warehouse example. Deterministic under a seed; dates, Zipfian
+    customers, and a realistic revenue expression exercise the engine's
+    type surface. *)
+
+open Openivm_engine
+
+let customer_ddl =
+  "CREATE TABLE customer(c_custkey INTEGER PRIMARY KEY, c_name VARCHAR, \
+   c_nationkey INTEGER, c_acctbal DOUBLE)"
+
+let orders_ddl =
+  "CREATE TABLE orders(o_orderkey INTEGER PRIMARY KEY, o_custkey INTEGER, \
+   o_orderstatus VARCHAR, o_orderdate DATE, o_totalprice DOUBLE)"
+
+let lineitem_ddl =
+  "CREATE TABLE lineitem(l_orderkey INTEGER, l_linenumber INTEGER, \
+   l_quantity INTEGER, l_extendedprice DOUBLE, l_discount DOUBLE, \
+   l_returnflag VARCHAR, l_shipdate DATE)"
+
+(* join keys are indexed, so the IVM fill terms run as index nested
+   loops over the deltas — the ART-for-joins point of paper §2 *)
+let index_ddl =
+  [ "CREATE INDEX idx_lineitem_orderkey ON lineitem(l_orderkey)";
+    "CREATE INDEX idx_orders_custkey ON orders(o_custkey)" ]
+
+let all_ddl = [ customer_ddl; orders_ddl; lineitem_ddl ] @ index_ddl
+
+let nations = 25
+let statuses = [| "O"; "F"; "P" |]
+let flags = [| "N"; "R"; "A" |]
+
+type t = {
+  rng : Random.State.t;
+  zipf : Datagen.zipf;
+  customers : int;
+  mutable next_order : int;
+}
+
+let create ?(seed = 7) ~customers () =
+  { rng = Random.State.make [| seed |];
+    zipf = Datagen.zipf customers;
+    customers;
+    next_order = 0 }
+
+let epoch_1992 = Value.days_from_civil ~year:1992 ~month:1 ~day:1
+let day_range = 7 * 365
+
+let random_date t = epoch_1992 + Random.State.int t.rng day_range
+
+let insert_customers (db : Database.t) (t : t) : unit =
+  let tbl = Catalog.find_table (Database.catalog db) "customer" in
+  Trigger.without_hooks (Database.triggers db) (fun () ->
+      for i = 0 to t.customers - 1 do
+        Table.insert tbl
+          [| Value.Int i;
+             Value.Str (Printf.sprintf "Customer#%06d" i);
+             Value.Int (Random.State.int t.rng nations);
+             Value.Float (Random.State.float t.rng 10_000.0 -. 1_000.0) |]
+      done)
+
+(** One order with 1–4 line items, returned as SQL statements so capture
+    triggers fire (the IVM paths see them). *)
+let order_statements (t : t) : string list =
+  let okey = t.next_order in
+  t.next_order <- t.next_order + 1;
+  let cust = Datagen.zipf_sample { Datagen.rng = t.rng } t.zipf in
+  let date = random_date t in
+  let lines = 1 + Random.State.int t.rng 4 in
+  let items =
+    List.init lines (fun ln ->
+        let qty = 1 + Random.State.int t.rng 50 in
+        let price = float_of_int qty *. (900.0 +. Random.State.float t.rng 200.0) in
+        let discount = float_of_int (Random.State.int t.rng 11) /. 100.0 in
+        Printf.sprintf "(%d, %d, %d, %.2f, %.2f, '%s', '%s')" okey (ln + 1)
+          qty price discount
+          flags.(Random.State.int t.rng (Array.length flags))
+          (Value.date_to_string (date + Random.State.int t.rng 90)))
+  in
+  let total =
+    (* the engine recomputes exact revenue; the header total is cosmetic *)
+    float_of_int (lines * 1000)
+  in
+  [ Printf.sprintf
+      "INSERT INTO orders VALUES (%d, %d, '%s', '%s', %.2f)" okey cust
+      statuses.(Random.State.int t.rng (Array.length statuses))
+      (Value.date_to_string date) total;
+    "INSERT INTO lineitem VALUES " ^ String.concat ", " items ]
+
+(** Statements for a returns/cancellation event: drop one past order. *)
+let cancel_statements (t : t) : string list =
+  if t.next_order = 0 then []
+  else begin
+    let okey = Random.State.int t.rng t.next_order in
+    [ Printf.sprintf "DELETE FROM lineitem WHERE l_orderkey = %d" okey;
+      Printf.sprintf "DELETE FROM orders WHERE o_orderkey = %d" okey ]
+  end
+
+(** The warehouse view of the example/bench: revenue per nation. *)
+let revenue_view =
+  "CREATE MATERIALIZED VIEW nation_revenue AS SELECT customer.c_nationkey, \
+   SUM(lineitem.l_extendedprice * (1 - lineitem.l_discount)) AS revenue, \
+   COUNT(*) AS line_count FROM lineitem JOIN orders ON lineitem.l_orderkey \
+   = orders.o_orderkey JOIN customer ON orders.o_custkey = \
+   customer.c_custkey GROUP BY customer.c_nationkey"
+
+let revenue_reference =
+  "SELECT customer.c_nationkey, SUM(lineitem.l_extendedprice * (1 - \
+   lineitem.l_discount)) AS revenue, COUNT(*) AS line_count FROM lineitem \
+   JOIN orders ON lineitem.l_orderkey = orders.o_orderkey JOIN customer ON \
+   orders.o_custkey = customer.c_custkey GROUP BY customer.c_nationkey"
+
+(** Populate [db] with [orders] orders (and their line items). *)
+let populate (db : Database.t) (t : t) ~orders : unit =
+  insert_customers db t;
+  for _ = 1 to orders do
+    List.iter (fun sql -> ignore (Database.exec db sql)) (order_statements t)
+  done

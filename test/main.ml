@@ -1,0 +1,31 @@
+let () =
+  Alcotest.run "openivm"
+    [ ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("pretty", Test_pretty.suite);
+      ("value", Test_value.suite);
+      ("vec", Test_vec.suite);
+      ("schema", Test_schema.suite);
+      ("art", Test_art.suite);
+      ("expr", Test_expr.suite);
+      ("exec", Test_exec.suite);
+      ("sql-conformance", Test_sql_conformance.suite);
+      ("random-queries", Test_random_queries.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("dml", Test_dml.suite);
+      ("zset", Test_zset.suite);
+      ("dbsp", Test_dbsp.suite);
+      ("circuit", Test_circuit.suite);
+      ("shape", Test_shape.suite);
+      ("compiler", Test_compiler.suite);
+      ("propagate", Test_propagate.suite);
+      ("advisor", Test_advisor.suite);
+      ("golden-sql", Test_golden_sql.suite);
+      ("runner", Test_runner.suite);
+      ("random-views", Test_random_views.suite);
+      ("htap", Test_htap.suite);
+      ("portability", Test_portability.suite);
+      ("csv", Test_csv.suite);
+      ("snapshot", Test_snapshot.suite);
+      ("tpch", Test_tpch.suite);
+    ]

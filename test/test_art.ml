@@ -1,0 +1,196 @@
+open Openivm_engine
+
+(* --- unit tests --- *)
+
+let insert_all t bindings = List.iter (fun (k, v) -> Art.insert t k v) bindings
+
+let suite_unit =
+  [ Util.tc "empty tree" (fun () ->
+        let t : int Art.t = Art.create () in
+        Alcotest.(check int) "length" 0 (Art.length t);
+        Alcotest.(check (option int)) "find" None (Art.find t "x"));
+    Util.tc "single insert and find" (fun () ->
+        let t = Art.create () in
+        Art.insert t "hello" 1;
+        Alcotest.(check (option int)) "found" (Some 1) (Art.find t "hello");
+        Alcotest.(check (option int)) "absent" None (Art.find t "hell");
+        Alcotest.(check (option int)) "absent2" None (Art.find t "hello!"));
+    Util.tc "replace on duplicate key" (fun () ->
+        let t = Art.create () in
+        Art.insert t "k" 1;
+        Art.insert t "k" 2;
+        Alcotest.(check int) "length" 1 (Art.length t);
+        Alcotest.(check (option int)) "value" (Some 2) (Art.find t "k"));
+    Util.tc "insert_with combines" (fun () ->
+        let t = Art.create () in
+        Art.insert_with t ~combine:( + ) "k" 1;
+        Art.insert_with t ~combine:( + ) "k" 5;
+        Alcotest.(check (option int)) "combined" (Some 6) (Art.find t "k"));
+    Util.tc "prefix keys coexist" (fun () ->
+        let t = Art.create () in
+        insert_all t [ ("a", 1); ("ab", 2); ("abc", 3); ("", 0) ];
+        Alcotest.(check (option int)) "a" (Some 1) (Art.find t "a");
+        Alcotest.(check (option int)) "ab" (Some 2) (Art.find t "ab");
+        Alcotest.(check (option int)) "abc" (Some 3) (Art.find t "abc");
+        Alcotest.(check (option int)) "empty" (Some 0) (Art.find t ""));
+    Util.tc "node growth to 256 children" (fun () ->
+        let t = Art.create () in
+        for b = 0 to 255 do
+          Art.insert t (Printf.sprintf "%c-key" (Char.chr b)) b
+        done;
+        Alcotest.(check int) "length" 256 (Art.length t);
+        for b = 0 to 255 do
+          Alcotest.(check (option int)) "find"
+            (Some b)
+            (Art.find t (Printf.sprintf "%c-key" (Char.chr b)))
+        done;
+        let stats = Art.stats t in
+        Alcotest.(check int) "one Node256" 1 stats.Art.inner256);
+    Util.tc "iteration is in ascending key order" (fun () ->
+        let t = Art.create () in
+        insert_all t [ ("pear", 1); ("apple", 2); ("fig", 3); ("banana", 4) ];
+        Alcotest.(check (list string)) "sorted"
+          [ "apple"; "banana"; "fig"; "pear" ]
+          (List.map fst (Art.to_list t)));
+    Util.tc "remove" (fun () ->
+        let t = Art.create () in
+        insert_all t [ ("a", 1); ("ab", 2); ("b", 3) ];
+        Alcotest.(check bool) "removed" true (Art.remove t "ab");
+        Alcotest.(check bool) "already gone" false (Art.remove t "ab");
+        Alcotest.(check int) "length" 2 (Art.length t);
+        Alcotest.(check (option int)) "a kept" (Some 1) (Art.find t "a");
+        Alcotest.(check (option int)) "b kept" (Some 3) (Art.find t "b"));
+    Util.tc "remove collapses paths" (fun () ->
+        let t = Art.create () in
+        insert_all t [ ("shared-prefix-1", 1); ("shared-prefix-2", 2) ];
+        Alcotest.(check bool) "rm" true (Art.remove t "shared-prefix-1");
+        Alcotest.(check (option int)) "other kept" (Some 2)
+          (Art.find t "shared-prefix-2");
+        Alcotest.(check bool) "rm last" true (Art.remove t "shared-prefix-2");
+        Alcotest.(check int) "empty" 0 (Art.length t));
+    Util.tc "min_binding" (fun () ->
+        let t = Art.create () in
+        insert_all t [ ("m", 1); ("a", 2); ("z", 3) ];
+        match Art.min_binding t with
+        | Some ("a", 2) -> ()
+        | _ -> Alcotest.fail "min");
+    Util.tc "of_sorted equals inserts" (fun () ->
+        let bindings =
+          Array.init 1000 (fun i -> (Printf.sprintf "key%06d" i, i))
+        in
+        let bulk = Art.of_sorted bindings in
+        let incremental = Art.create () in
+        Array.iter (fun (k, v) -> Art.insert incremental k v) bindings;
+        Alcotest.(check bool) "same contents" true
+          (Art.to_list bulk = Art.to_list incremental));
+    Util.tc "of_sorted rejects unsorted" (fun () ->
+        match Art.of_sorted [| ("b", 1); ("a", 2) |] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "accepted unsorted input");
+    Util.tc "merge of disjoint ranges" (fun () ->
+        let a = Art.of_sorted (Array.init 100 (fun i -> (Printf.sprintf "a%03d" i, i))) in
+        let b = Art.of_sorted (Array.init 100 (fun i -> (Printf.sprintf "b%03d" i, i))) in
+        Art.merge ~combine:(fun _ x -> x) a b;
+        Alcotest.(check int) "merged size" 200 (Art.length a);
+        Alcotest.(check (option int)) "left key" (Some 42) (Art.find a "a042");
+        Alcotest.(check (option int)) "right key" (Some 99) (Art.find a "b099"));
+    Util.tc "merge combines duplicates" (fun () ->
+        let a = Art.of_sorted [| ("k1", 1); ("k2", 10) |] in
+        let b = Art.of_sorted [| ("k2", 5); ("k3", 7) |] in
+        Art.merge ~combine:( + ) a b;
+        Alcotest.(check int) "size" 3 (Art.length a);
+        Alcotest.(check (option int)) "combined" (Some 15) (Art.find a "k2"));
+  ]
+
+(* --- model-based property tests against Hashtbl --- *)
+
+type op =
+  | Insert of string * int
+  | Remove of string
+  | Find of string
+
+let op_gen =
+  let open QCheck.Gen in
+  let key = map (fun (a, b) -> Printf.sprintf "%s\x00%s" a b)
+      (pair (string_size (int_bound 6)) (string_size (int_bound 4))) in
+  frequency
+    [ (5, map2 (fun k v -> Insert (k, v)) key small_int);
+      (2, map (fun k -> Remove k) key);
+      (3, map (fun k -> Find k) key) ]
+
+let arbitrary_ops =
+  QCheck.make ~print:(fun ops ->
+      String.concat "; "
+        (List.map
+           (function
+             | Insert (k, v) -> Printf.sprintf "ins %S %d" k v
+             | Remove k -> Printf.sprintf "rm %S" k
+             | Find k -> Printf.sprintf "find %S" k)
+           ops))
+    (QCheck.Gen.list_size (QCheck.Gen.int_bound 200) op_gen)
+
+let model_property ops =
+  let t = Art.create () in
+  let model : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.for_all
+    (fun op ->
+       match op with
+       | Insert (k, v) ->
+         Art.insert t k v;
+         Hashtbl.replace model k v;
+         true
+       | Remove k ->
+         let removed = Art.remove t k in
+         let expected = Hashtbl.mem model k in
+         Hashtbl.remove model k;
+         removed = expected
+       | Find k -> Art.find t k = Hashtbl.find_opt model k)
+    ops
+  && Art.length t = Hashtbl.length model
+  && (* iteration sorted and complete *)
+  (let listed = Art.to_list t in
+   let sorted_model =
+     List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [])
+   in
+   (* Art sorts by escaped-key order which equals raw order *)
+   List.sort compare listed = sorted_model)
+
+let merge_property (left, right) =
+  let build bindings =
+    let t = Art.create () in
+    List.iter (fun (k, v) -> Art.insert t k v) bindings;
+    t
+  in
+  let a = build left and b = build right in
+  (* trees use replace-on-duplicate within each side; model must too *)
+  let left_map = Hashtbl.create 64 and right_map = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace left_map k v) left;
+  List.iter (fun (k, v) -> Hashtbl.replace right_map k v) right;
+  let model = Hashtbl.copy left_map in
+  Hashtbl.iter
+    (fun k v ->
+       match Hashtbl.find_opt model k with
+       | Some old -> Hashtbl.replace model k (old + v)
+       | None -> Hashtbl.replace model k v)
+    right_map;
+  Art.merge ~combine:( + ) a b;
+  Art.length a = Hashtbl.length model
+  && Hashtbl.fold
+    (fun k v ok -> ok && Art.find a k = Some v)
+    model true
+
+let qcheck =
+  let open QCheck in
+  let key_gen =
+    Gen.map (fun s -> s) (Gen.string_size (Gen.int_bound 8))
+  in
+  [ Test.make ~count:200 ~name:"ART behaves like a map (model-based)"
+      arbitrary_ops model_property;
+    Test.make ~count:200 ~name:"ART merge = map union with combine"
+      (pair
+         (list (pair (make key_gen) small_int))
+         (list (pair (make key_gen) small_int)))
+      merge_property;
+  ]
+
+let suite = suite_unit @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck

@@ -1,0 +1,85 @@
+open Openivm_engine
+
+let with_temp f =
+  let path = Filename.temp_file "openivm_csv" ".csv" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let write path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let suite =
+  [ Util.tc "export then import round-trips" (fun () ->
+        with_temp (fun path ->
+            let db =
+              Util.db_with
+                [ "CREATE TABLE t(k VARCHAR, v INTEGER, f DOUBLE, b BOOLEAN, d DATE)";
+                  "INSERT INTO t VALUES ('plain', 1, 1.5, TRUE, '2024-06-09'), \
+                   ('with,comma', 2, NULL, FALSE, NULL), ('with\"quote', NULL, \
+                   0.25, NULL, '1999-12-31')" ]
+            in
+            let exported = Csv.export db ~query:"SELECT * FROM t" ~path in
+            Alcotest.(check int) "exported" 3 exported;
+            let db2 =
+              Util.db_with
+                [ "CREATE TABLE t(k VARCHAR, v INTEGER, f DOUBLE, b BOOLEAN, d DATE)" ]
+            in
+            let imported = Csv.import db2 ~table:"t" ~path in
+            Alcotest.(check int) "imported" 3 imported;
+            Alcotest.(check (list string)) "contents"
+              (Util.sorted_rows db "SELECT * FROM t")
+              (Util.sorted_rows db2 "SELECT * FROM t")));
+    Util.tc "import with column subset fills nulls" (fun () ->
+        with_temp (fun path ->
+            write path "v,k\n10,alpha\n20,beta\n";
+            let db = Util.db_with [ "CREATE TABLE t(k VARCHAR, v INTEGER, extra INTEGER)" ] in
+            let n = Csv.import db ~table:"t" ~path in
+            Alcotest.(check int) "rows" 2 n;
+            Util.check_rows db "SELECT * FROM t"
+              [ "(alpha, 10, NULL)"; "(beta, 20, NULL)" ]));
+    Util.tc "quoted fields with embedded separators and newlines" (fun () ->
+        with_temp (fun path ->
+            write path "k,v\n\"a,b\",1\n\"line1\nline2\",2\n\"he said \"\"hi\"\"\",3\n";
+            let db = Util.db_with [ "CREATE TABLE t(k VARCHAR, v INTEGER)" ] in
+            let n = Csv.import db ~table:"t" ~path in
+            Alcotest.(check int) "rows" 3 n;
+            Util.check_scalar db "SELECT k FROM t WHERE v = 1" "a,b";
+            Util.check_scalar db "SELECT k FROM t WHERE v = 3" "he said \"hi\"";
+            Util.check_scalar db
+              "SELECT COUNT(*) FROM t WHERE k LIKE '%line1%line2%'" "1"));
+    Util.tc "empty unquoted field is NULL, quoted empty is empty string" (fun () ->
+        with_temp (fun path ->
+            write path "k,v\n,1\n\"\",2\n";
+            let db = Util.db_with [ "CREATE TABLE t(k VARCHAR, v INTEGER)" ] in
+            ignore (Csv.import db ~table:"t" ~path);
+            Util.check_scalar db "SELECT COUNT(*) FROM t WHERE k IS NULL" "1";
+            Util.check_scalar db "SELECT COUNT(*) FROM t WHERE k = ''" "1"));
+    Util.tc "bad field raises with a message" (fun () ->
+        with_temp (fun path ->
+            write path "v\nnot_a_number\n";
+            let db = Util.db_with [ "CREATE TABLE t(v INTEGER)" ] in
+            match Csv.import db ~table:"t" ~path with
+            | exception Error.Sql_error _ -> ()
+            | _ -> Alcotest.fail "expected import error"));
+    Util.tc "import feeds IVM capture triggers" (fun () ->
+        with_temp (fun path ->
+            write path "group_index,group_value\na,5\nb,7\na,1\n";
+            let db =
+              Util.db_with
+                [ "CREATE TABLE groups(group_index VARCHAR, group_value INTEGER)" ]
+            in
+            let v =
+              Openivm.Runner.install db
+                "CREATE MATERIALIZED VIEW qg AS SELECT group_index, \
+                 SUM(group_value) AS s FROM groups GROUP BY group_index"
+            in
+            ignore (Csv.import db ~table:"groups" ~path);
+            let r = Openivm.Runner.contents v ~order_by:"group_index" in
+            Alcotest.(check (list string)) "maintained"
+              [ "(a, 6)"; "(b, 7)" ]
+              (List.map
+                 (fun (row : Row.t) -> Row.to_string (Array.sub row 0 2))
+                 r.Database.rows)));
+  ]

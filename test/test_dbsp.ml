@@ -1,0 +1,176 @@
+(** DBSP stream/operator laws: D and I are mutually inverse, and each
+    incremental operator agrees with its non-incremental counterpart run
+    from scratch at every step. *)
+
+open Openivm_engine
+open Openivm_dbsp
+
+let row2 a b : Row.t = [| Value.Int a; Value.Int b |]
+
+let gen_delta =
+  QCheck.Gen.(
+    map
+      (fun cells ->
+         Zset.of_list
+           (List.map (fun ((a, b), w) -> (row2 a b, w)) cells))
+      (list_size (int_bound 15)
+         (pair (pair (int_bound 5) (int_bound 20)) (int_range (-2) 2))))
+
+let gen_stream = QCheck.Gen.(list_size (int_bound 8) gen_delta)
+
+let arb_stream =
+  QCheck.make
+    ~print:(fun s -> String.concat " | " (List.map Zset.to_string s))
+    gen_stream
+
+(** Check that a stateful incremental operator [inc] tracks the plain
+    operator [full] applied to the integrated input, step by step. *)
+let tracks (inc : Operator.unary) (full : Zset.t -> Zset.t) stream =
+  let acc_in = Zset.create () in
+  let acc_out = Zset.create () in
+  List.for_all
+    (fun delta ->
+       Zset.accumulate ~into:acc_in delta;
+       Zset.accumulate ~into:acc_out (inc delta);
+       Zset.equal acc_out (full acc_in))
+    stream
+
+let key (r : Row.t) : Row.t = [| r.(0) |]
+
+let qcheck =
+  let open QCheck in
+  [ Test.make ~count:200 ~name:"D(I(s)) = s" arb_stream
+      (fun s ->
+         let back = Stream.differentiate (Stream.integrate s) in
+         List.for_all2 Zset.equal s back);
+    Test.make ~count:200 ~name:"I(D(s)) = s" arb_stream
+      (fun s ->
+         let back = Stream.integrate (Stream.differentiate s) in
+         List.for_all2 Zset.equal s back);
+    Test.make ~count:200 ~name:"incremental filter tracks filter" arb_stream
+      (fun s ->
+         let p (r : Row.t) = match r.(1) with Value.Int i -> i mod 2 = 0 | _ -> false in
+         tracks (Operator.filter p) (Zset.filter p) s);
+    Test.make ~count:200 ~name:"incremental map tracks map" arb_stream
+      (fun s ->
+         let f (r : Row.t) = [| r.(0) |] in
+         tracks (Operator.map f) (Zset.map f) s);
+    Test.make ~count:200 ~name:"incremental distinct tracks distinct" arb_stream
+      (fun s -> tracks (Operator.distinct ()) Zset.distinct s);
+    Test.make ~count:100 ~name:"incremental join tracks join"
+      (pair arb_stream arb_stream)
+      (fun (ls, rs) ->
+         (* pad to equal length *)
+         let n = max (List.length ls) (List.length rs) in
+         let pad s =
+           s @ List.init (n - List.length s) (fun _ -> Zset.create ())
+         in
+         let ls = pad ls and rs = pad rs in
+         let join_full a b =
+           Zset.join ~left_key:key ~right_key:key ~output:Row.concat a b
+         in
+         let inc = Operator.join ~left_key:key ~right_key:key ~output:Row.concat in
+         let acc_l = Zset.create () and acc_r = Zset.create () in
+         let acc_out = Zset.create () in
+         List.for_all2
+           (fun dl dr ->
+              Zset.accumulate ~into:acc_l dl;
+              Zset.accumulate ~into:acc_r dr;
+              Zset.accumulate ~into:acc_out (inc dl dr);
+              Zset.equal acc_out (join_full acc_l acc_r))
+           ls rs);
+    Test.make ~count:150 ~name:"incremental SUM/COUNT aggregate tracks recompute"
+      arb_stream
+      (fun s ->
+         (* inputs must stay valid bags (non-negative weights) *)
+         let acc_in = Zset.create () in
+         let value (r : Row.t) = r.(1) in
+         let agg =
+           Operator.aggregate ~key_of:key
+             ~specs:[ Aggregate.Count_star; Aggregate.Sum value ]
+         in
+         let acc_out = Zset.create () in
+         List.for_all
+           (fun delta ->
+              (* clip deltas so the integral never goes negative *)
+              let clipped = Zset.create () in
+              Zset.iter
+                (fun row w ->
+                   let cur = Zset.weight acc_in row in
+                   let w = if cur + w < 0 then -cur else w in
+                   Zset.add clipped row w)
+                delta;
+              Zset.accumulate ~into:acc_in clipped;
+              Zset.accumulate ~into:acc_out (agg clipped);
+              (* recompute reference *)
+              let expected = Zset.create () in
+              let groups : (Row.t, int * int) Hashtbl.t = Hashtbl.create 8 in
+              Zset.iter
+                (fun row w ->
+                   let k = key row in
+                   let c0, s0 =
+                     match Hashtbl.find_opt groups k with
+                     | Some x -> x
+                     | None -> (0, 0)
+                   in
+                   let v = match row.(1) with Value.Int i -> i | _ -> 0 in
+                   Hashtbl.replace groups k (c0 + w, s0 + (w * v)))
+                acc_in;
+              Hashtbl.iter
+                (fun k (c, s) ->
+                   if c > 0 then
+                     Zset.add expected
+                       (Array.append k [| Value.Int c; Value.Int s |])
+                       1)
+                groups;
+              Zset.equal acc_out expected)
+           s);
+    Test.make ~count:150 ~name:"incremental MIN/MAX aggregate handles retractions"
+      arb_stream
+      (fun s ->
+         let acc_in = Zset.create () in
+         let value (r : Row.t) = r.(1) in
+         let agg =
+           Operator.aggregate ~key_of:key
+             ~specs:[ Aggregate.Min value; Aggregate.Max value ]
+         in
+         let acc_out = Zset.create () in
+         List.for_all
+           (fun delta ->
+              let clipped = Zset.create () in
+              Zset.iter
+                (fun row w ->
+                   let cur = Zset.weight acc_in row in
+                   let w = if cur + w < 0 then -cur else w in
+                   Zset.add clipped row w)
+                delta;
+              Zset.accumulate ~into:acc_in clipped;
+              Zset.accumulate ~into:acc_out (agg clipped);
+              let expected = Zset.create () in
+              let groups : (Row.t, int * int * bool) Hashtbl.t = Hashtbl.create 8 in
+              Zset.iter
+                (fun row w ->
+                   if w > 0 then begin
+                     let k = key row in
+                     let v = match row.(1) with Value.Int i -> i | _ -> 0 in
+                     let lo, hi, seen =
+                       match Hashtbl.find_opt groups k with
+                       | Some x -> x
+                       | None -> (max_int, min_int, false)
+                     in
+                     ignore seen;
+                     Hashtbl.replace groups k (min lo v, max hi v, true)
+                   end)
+                acc_in;
+              Hashtbl.iter
+                (fun k (lo, hi, seen) ->
+                   if seen then
+                     Zset.add expected
+                       (Array.append k [| Value.Int lo; Value.Int hi |])
+                       1)
+                groups;
+              Zset.equal acc_out expected)
+           s);
+  ]
+
+let suite = List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck

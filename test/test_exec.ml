@@ -1,0 +1,225 @@
+open Openivm_engine
+
+let base_db () =
+  Util.db_with
+    [ "CREATE TABLE t(k VARCHAR, v INTEGER, f DOUBLE)";
+      "INSERT INTO t VALUES ('a', 1, 1.5), ('a', 2, 2.5), ('b', 3, NULL), \
+       (NULL, 4, 0.5), ('c', NULL, 3.5)";
+      "CREATE TABLE u(k VARCHAR, w INTEGER)";
+      "INSERT INTO u VALUES ('a', 10), ('b', 20), ('d', 40), ('a', 11)" ]
+
+let suite =
+  [ Util.tc "projection with expressions" (fun () ->
+        let db = base_db () in
+        Util.check_rows db "SELECT v + 1 AS succ FROM t WHERE v IS NOT NULL"
+          [ "(2)"; "(3)"; "(4)"; "(5)" ]);
+    Util.tc "where with 3vl null" (fun () ->
+        let db = base_db () in
+        (* v > 2 is NULL for the NULL row -> excluded *)
+        Util.check_rows db "SELECT k FROM t WHERE v > 2" [ "(b)"; "(NULL)" ]);
+    Util.tc "select star" (fun () ->
+        let db = base_db () in
+        Alcotest.(check int) "arity"
+          3
+          (List.length (Database.query db "SELECT * FROM t").Database.schema));
+    Util.tc "qualified star over join" (fun () ->
+        let db = base_db () in
+        let r = Database.query db "SELECT u.* FROM t JOIN u ON t.k = u.k" in
+        Alcotest.(check int) "arity" 2 (List.length r.Database.schema));
+    Util.tc "order by asc puts nulls first" (fun () ->
+        let db = base_db () in
+        let r = Database.query db "SELECT v FROM t ORDER BY v" in
+        Alcotest.(check (list string)) "order"
+          [ "(NULL)"; "(1)"; "(2)"; "(3)"; "(4)" ]
+          (Util.rows_of r));
+    Util.tc "order by desc with limit offset" (fun () ->
+        let db = base_db () in
+        let r = Database.query db "SELECT v FROM t WHERE v IS NOT NULL ORDER BY v DESC LIMIT 2 OFFSET 1" in
+        Alcotest.(check (list string)) "order" [ "(3)"; "(2)" ] (Util.rows_of r));
+    Util.tc "order by unprojected column" (fun () ->
+        let db = base_db () in
+        let r = Database.query db "SELECT k FROM t WHERE v IS NOT NULL ORDER BY t.v DESC" in
+        Alcotest.(check (list string)) "order"
+          [ "(NULL)"; "(b)"; "(a)"; "(a)" ]
+          (Util.rows_of r));
+    Util.tc "distinct" (fun () ->
+        let db = base_db () in
+        Util.check_rows db "SELECT DISTINCT k FROM t"
+          [ "(a)"; "(b)"; "(c)"; "(NULL)" ]);
+    Util.tc "group by with sum/count/avg" (fun () ->
+        let db = base_db () in
+        Util.check_rows db
+          "SELECT k, SUM(v), COUNT(v), COUNT(*) FROM t GROUP BY k"
+          [ "(a, 3, 2, 2)"; "(b, 3, 1, 1)"; "(NULL, 4, 1, 1)"; "(c, NULL, 0, 1)" ]);
+    Util.tc "group by nulls form one group" (fun () ->
+        let db = base_db () in
+        Util.check_rows db "SELECT k, COUNT(*) FROM t GROUP BY k HAVING k IS NULL"
+          [ "(NULL, 1)" ]);
+    Util.tc "sum over empty group set" (fun () ->
+        let db = base_db () in
+        Util.check_rows db "SELECT k, SUM(v) FROM t WHERE v > 100 GROUP BY k" []);
+    Util.tc "global aggregate over empty input yields one row" (fun () ->
+        let db = base_db () in
+        Util.check_rows db "SELECT COUNT(*), SUM(v) FROM t WHERE v > 100"
+          [ "(0, NULL)" ]);
+    Util.tc "min/max" (fun () ->
+        let db = base_db () in
+        Util.check_rows db "SELECT MIN(v), MAX(v), MIN(k), MAX(k) FROM t"
+          [ "(1, 4, a, c)" ]);
+    Util.tc "avg" (fun () ->
+        let db = base_db () in
+        Util.check_scalar db "SELECT AVG(v) FROM t" "2.5");
+    Util.tc "count distinct" (fun () ->
+        let db = base_db () in
+        Util.check_scalar db "SELECT COUNT(DISTINCT k) FROM t" "3");
+    Util.tc "sum distinct" (fun () ->
+        let db = base_db () in
+        (* w values 10, 20, 40, 11; w % 10 gives 0, 0, 0, 1 *)
+        Util.check_scalar db "SELECT SUM(DISTINCT w % 10) FROM u" "1");
+    Util.tc "having filters groups" (fun () ->
+        let db = base_db () in
+        Util.check_rows db "SELECT k FROM t GROUP BY k HAVING COUNT(*) > 1"
+          [ "(a)" ]);
+    Util.tc "expression over aggregate" (fun () ->
+        let db = base_db () in
+        Util.check_rows db
+          "SELECT k, SUM(v) * 2 + COUNT(*) AS x FROM t WHERE k = 'a' GROUP BY k"
+          [ "(a, 8)" ]);
+    Util.tc "group by expression" (fun () ->
+        let db = base_db () in
+        Util.check_rows db
+          "SELECT v % 2 AS parity, COUNT(*) FROM t WHERE v IS NOT NULL GROUP \
+           BY v % 2"
+          [ "(0, 2)"; "(1, 2)" ]);
+    Util.tc "inner join" (fun () ->
+        let db = base_db () in
+        Util.check_rows db
+          "SELECT t.k, t.v, u.w FROM t JOIN u ON t.k = u.k WHERE t.v = 1"
+          [ "(a, 1, 10)"; "(a, 1, 11)" ]);
+    Util.tc "left join keeps unmatched" (fun () ->
+        let db = base_db () in
+        Util.check_rows db
+          "SELECT t.k, u.w FROM t LEFT JOIN u ON t.k = u.k WHERE t.v = 3 OR \
+           t.v = 4"
+          [ "(b, 20)"; "(NULL, NULL)" ]);
+    Util.tc "right join keeps unmatched right" (fun () ->
+        let db = base_db () in
+        Util.check_rows db
+          "SELECT u.k, t.v FROM t RIGHT JOIN u ON t.k = u.k AND t.v = 1"
+          [ "(a, 1)"; "(a, 1)"; "(b, NULL)"; "(d, NULL)" ]);
+    Util.tc "full join" (fun () ->
+        let db =
+          Util.db_with
+            [ "CREATE TABLE l(x INTEGER)"; "INSERT INTO l VALUES (1), (2)";
+              "CREATE TABLE r(x INTEGER)"; "INSERT INTO r VALUES (2), (3)" ]
+        in
+        Util.check_rows db "SELECT l.x, r.x FROM l FULL JOIN r ON l.x = r.x"
+          [ "(1, NULL)"; "(2, 2)"; "(NULL, 3)" ]);
+    Util.tc "null keys never join" (fun () ->
+        let db =
+          Util.db_with
+            [ "CREATE TABLE l(x INTEGER)"; "INSERT INTO l VALUES (NULL), (1)";
+              "CREATE TABLE r(x INTEGER)"; "INSERT INTO r VALUES (NULL), (1)" ]
+        in
+        Util.check_rows db "SELECT l.x FROM l JOIN r ON l.x = r.x" [ "(1)" ]);
+    Util.tc "cross join" (fun () ->
+        let db = base_db () in
+        Util.check_scalar db "SELECT COUNT(*) FROM t CROSS JOIN u" "20");
+    Util.tc "comma join with where becomes equi-join" (fun () ->
+        let db = base_db () in
+        Util.check_scalar db
+          "SELECT COUNT(*) FROM t, u WHERE t.k = u.k" "5");
+    Util.tc "theta join (non-equi)" (fun () ->
+        let db = base_db () in
+        Util.check_scalar db
+          "SELECT COUNT(*) FROM t JOIN u ON t.v < u.w AND t.k = u.k" "5");
+    Util.tc "self join with aliases" (fun () ->
+        let db = base_db () in
+        Util.check_scalar db
+          "SELECT COUNT(*) FROM u AS a JOIN u AS b ON a.k = b.k AND a.w < b.w"
+          "1");
+    Util.tc "subquery in from" (fun () ->
+        let db = base_db () in
+        Util.check_rows db
+          "SELECT s.k, s.total FROM (SELECT k, SUM(v) AS total FROM t GROUP \
+           BY k) AS s WHERE s.total > 3"
+          [ "(NULL, 4)" ]);
+    Util.tc "cte" (fun () ->
+        let db = base_db () in
+        Util.check_rows db
+          "WITH totals AS (SELECT k, SUM(v) AS s FROM t GROUP BY k) SELECT \
+           u.k, totals.s + u.w AS x FROM totals JOIN u ON u.k = totals.k \
+           WHERE u.w <= 20"
+          [ "(a, 13)"; "(a, 14)"; "(b, 23)" ]);
+    Util.tc "cte referenced by later cte" (fun () ->
+        let db = base_db () in
+        Util.check_scalar db
+          "WITH a AS (SELECT v FROM t WHERE v IS NOT NULL), b AS (SELECT v + \
+           1 AS v1 FROM a) SELECT SUM(v1) FROM b"
+          "14");
+    Util.tc "union removes duplicates" (fun () ->
+        let db = base_db () in
+        Util.check_rows db "SELECT k FROM t UNION SELECT k FROM u"
+          [ "(a)"; "(b)"; "(c)"; "(d)"; "(NULL)" ]);
+    Util.tc "union all keeps duplicates" (fun () ->
+        let db = base_db () in
+        Util.check_scalar db
+          "SELECT COUNT(*) FROM (SELECT k FROM t UNION ALL SELECT k FROM u) \
+           AS q"
+          "9");
+    Util.tc "except" (fun () ->
+        let db = base_db () in
+        Util.check_rows db "SELECT k FROM t EXCEPT SELECT k FROM u"
+          [ "(c)"; "(NULL)" ]);
+    Util.tc "intersect" (fun () ->
+        let db = base_db () in
+        Util.check_rows db "SELECT k FROM t INTERSECT SELECT k FROM u"
+          [ "(a)"; "(b)" ]);
+    Util.tc "in-subquery in where" (fun () ->
+        let db = base_db () in
+        Util.check_rows db
+          "SELECT k, v FROM t WHERE k IN (SELECT k FROM u WHERE w > 15)"
+          [ "(b, 3)" ]);
+    Util.tc "not-in-subquery" (fun () ->
+        let db = base_db () in
+        Util.check_rows db
+          "SELECT k FROM t WHERE k NOT IN (SELECT k FROM u WHERE w > 5)"
+          [ "(c)" ]);
+    Util.tc "select without from" (fun () ->
+        let db = Database.create () in
+        Util.check_rows db "SELECT 1 + 2 AS x, 'hi' AS s" [ "(3, hi)" ]);
+    Util.tc "view expansion" (fun () ->
+        let db = base_db () in
+        Util.exec db "CREATE VIEW big AS SELECT k, v FROM t WHERE v >= 2";
+        Util.check_rows db "SELECT k FROM big" [ "(a)"; "(b)"; "(NULL)" ]);
+    Util.tc "explain renders a plan" (fun () ->
+        let db = base_db () in
+        match Database.exec db "EXPLAIN SELECT k, SUM(v) FROM t WHERE v > 1 GROUP BY k" with
+        | Database.Ok_msg plan ->
+          Alcotest.(check bool) "mentions group by" true
+            (String.length plan > 0
+             && (let re = "HASH_GROUP_BY" in
+                 let rec contains i =
+                   i + String.length re <= String.length plan
+                   && (String.sub plan i (String.length re) = re || contains (i + 1))
+                 in
+                 contains 0))
+        | _ -> Alcotest.fail "expected plan text");
+    Util.tc "ambiguous column is rejected" (fun () ->
+        let db = base_db () in
+        match Database.query db "SELECT k FROM t JOIN u ON t.k = u.k" with
+        | exception Error.Sql_error msg ->
+          Alcotest.(check bool) "mentions ambiguity" true
+            (String.length msg > 0)
+        | _ -> Alcotest.fail "expected ambiguity error");
+    Util.tc "unknown column is rejected" (fun () ->
+        let db = base_db () in
+        match Database.query db "SELECT nope FROM t" with
+        | exception Error.Sql_error _ -> ()
+        | _ -> Alcotest.fail "expected error");
+    Util.tc "unknown table is rejected" (fun () ->
+        let db = base_db () in
+        match Database.query db "SELECT 1 FROM missing" with
+        | exception Error.Sql_error _ -> ()
+        | _ -> Alcotest.fail "expected error");
+  ]

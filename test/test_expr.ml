@@ -1,0 +1,78 @@
+open Openivm_engine
+
+let eval sql = Expr.eval_const (Openivm_sql.Parser.parse_expression sql)
+
+let check sql expected () =
+  Alcotest.(check string) sql expected (Value.to_string (eval sql))
+
+let check_raises sql () =
+  match eval sql with
+  | exception Error.Sql_error _ -> ()
+  | v -> Alcotest.failf "expected error for %S, got %s" sql (Value.to_string v)
+
+let suite =
+  [ Util.tc "integer arithmetic" (check "1 + 2 * 3 - 4" "3");
+    Util.tc "division is floating-point" (check "7 / 2" "3.5");
+    Util.tc "division by zero is NULL" (check "1 / 0" "NULL");
+    Util.tc "modulo" (check "7 % 3" "1");
+    Util.tc "modulo by zero is NULL" (check "7 % 0" "NULL");
+    Util.tc "mixed int/float" (check "1 + 2.5" "3.5");
+    Util.tc "unary minus" (check "-(2 + 3)" "-5");
+    Util.tc "null propagates through arithmetic" (check "1 + NULL" "NULL");
+    Util.tc "null propagates through comparison" (check "1 < NULL" "NULL");
+    Util.tc "3vl: true or null" (check "TRUE OR NULL" "true");
+    Util.tc "3vl: false or null" (check "FALSE OR NULL" "NULL");
+    Util.tc "3vl: false and null" (check "FALSE AND NULL" "false");
+    Util.tc "3vl: true and null" (check "TRUE AND NULL" "NULL");
+    Util.tc "3vl: not null" (check "NOT NULL" "NULL");
+    Util.tc "string concat" (check "'foo' || 'bar'" "foobar");
+    Util.tc "concat with null" (check "'foo' || NULL" "NULL");
+    Util.tc "string comparison" (check "'abc' < 'abd'" "true");
+    Util.tc "between" (check "5 BETWEEN 1 AND 10" "true");
+    Util.tc "not between" (check "5 NOT BETWEEN 1 AND 10" "false");
+    Util.tc "between null bound" (check "5 BETWEEN NULL AND 10" "NULL");
+    Util.tc "in list hit" (check "2 IN (1, 2, 3)" "true");
+    Util.tc "in list miss" (check "9 IN (1, 2, 3)" "false");
+    Util.tc "in list miss with null" (check "9 IN (1, NULL)" "NULL");
+    Util.tc "null in list" (check "NULL IN (1, 2)" "NULL");
+    Util.tc "not in with null" (check "9 NOT IN (1, NULL)" "NULL");
+    Util.tc "is null" (check "NULL IS NULL" "true");
+    Util.tc "is not null" (check "3 IS NOT NULL" "true");
+    Util.tc "like: percent" (check "'hello' LIKE 'he%'" "true");
+    Util.tc "like: underscore" (check "'hello' LIKE 'h_llo'" "true");
+    Util.tc "like: no match" (check "'hello' LIKE 'x%'" "false");
+    Util.tc "like: full wildcard" (check "'' LIKE '%'" "true");
+    Util.tc "not like" (check "'abc' NOT LIKE '%b%'" "false");
+    Util.tc "case: first match wins" (check "CASE WHEN TRUE THEN 1 WHEN TRUE THEN 2 END" "1");
+    Util.tc "case: falls to else" (check "CASE WHEN FALSE THEN 1 ELSE 9 END" "9");
+    Util.tc "case: no else is NULL" (check "CASE WHEN FALSE THEN 1 END" "NULL");
+    Util.tc "case: null condition is not a match" (check "CASE WHEN NULL THEN 1 ELSE 2 END" "2");
+    Util.tc "cast int to text" (check "CAST(42 AS VARCHAR)" "42");
+    Util.tc "cast text to int" (check "CAST(' 17 ' AS INTEGER)" "17");
+    Util.tc "cast float to int rounds" (check "CAST(2.6 AS INTEGER)" "3");
+    Util.tc "cast null" (check "CAST(NULL AS INTEGER)" "NULL");
+    Util.tc "cast bad text fails" (check_raises "CAST('xyz' AS INTEGER)");
+    Util.tc "coalesce" (check "COALESCE(NULL, NULL, 5, 7)" "5");
+    Util.tc "coalesce all null" (check "COALESCE(NULL, NULL)" "NULL");
+    Util.tc "nullif equal" (check "NULLIF(3, 3)" "NULL");
+    Util.tc "nullif differs" (check "NULLIF(3, 4)" "3");
+    Util.tc "abs" (check "ABS(-7)" "7");
+    Util.tc "round to digits" (check "ROUND(2.345, 2)" "2.35");
+    Util.tc "floor/ceil" (fun () ->
+        Alcotest.(check string) "floor" "2" (Value.to_string (eval "FLOOR(2.9)"));
+        Alcotest.(check string) "ceil" "3" (Value.to_string (eval "CEIL(2.1)")));
+    Util.tc "lower/upper" (check "UPPER(LOWER('MiXeD'))" "MIXED");
+    Util.tc "length" (check "LENGTH('hello')" "5");
+    Util.tc "substr" (check "SUBSTR('hello', 2, 3)" "ell");
+    Util.tc "greatest/least" (fun () ->
+        Alcotest.(check string) "greatest" "9" (Value.to_string (eval "GREATEST(3, 9, 1)"));
+        Alcotest.(check string) "least" "1" (Value.to_string (eval "LEAST(3, 9, 1)")));
+    Util.tc "date parts" (fun () ->
+        Alcotest.(check string) "year" "2024" (Value.to_string (eval "YEAR(DATE '2024-06-09')"));
+        Alcotest.(check string) "month" "6" (Value.to_string (eval "MONTH(DATE '2024-06-09')"));
+        Alcotest.(check string) "day" "9" (Value.to_string (eval "DAY(DATE '2024-06-09')")));
+    Util.tc "date arithmetic" (check "DATE '2024-06-09' + 1" "2024-06-10");
+    Util.tc "date difference" (check "DATE '2024-06-09' - DATE '2024-06-01'" "8");
+    Util.tc "unknown function fails" (check_raises "FROBNICATE(1)");
+    Util.tc "column in const context fails" (check_raises "some_column + 1");
+  ]

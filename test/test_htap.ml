@@ -1,0 +1,148 @@
+open Openivm_engine
+open Openivm_htap
+
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [ return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) int;
+        map (fun f -> Value.Float f) (float_bound_inclusive 1e9);
+        map (fun s -> Value.Str s) (string_size (int_bound 20));
+        map (fun d -> Value.Date d) (int_range (-100000) 100000) ])
+
+let gen_row = QCheck.Gen.(map Array.of_list (list_size (int_bound 8) gen_value))
+
+let bridge_qcheck =
+  [ QCheck.Test.make ~count:500 ~name:"bridge wire format round-trips"
+      (QCheck.make ~print:(fun r -> Row.to_string (Array.of_list r))
+         QCheck.Gen.(list_size (int_bound 8) gen_value))
+      (fun cells ->
+         let row = Array.of_list cells in
+         Row.equal row (Bridge.deserialize_row (Bridge.serialize_row row))) ]
+
+let schema_sql =
+  "CREATE TABLE groups(group_index VARCHAR, group_value INTEGER);"
+
+let view_sql =
+  "CREATE MATERIALIZED VIEW query_groups AS SELECT group_index, \
+   SUM(group_value) AS total_value, COUNT(*) AS n FROM groups GROUP BY \
+   group_index"
+
+let pipeline_matches_oltp p =
+  let got =
+    List.sort String.compare
+      (Util.rows_of
+         (Pipeline.query p
+            "SELECT group_index, total_value, n FROM query_groups"))
+  in
+  let expected =
+    List.sort String.compare
+      (Util.rows_of
+         (Oltp.query (Pipeline.oltp p)
+            "SELECT group_index, SUM(group_value) AS total_value, COUNT(*) \
+             AS n FROM groups GROUP BY group_index"))
+  in
+  Alcotest.(check (list string)) "cross-system view = OLTP recompute" expected got
+
+let suite =
+  [ Util.tc "bridge serialization roundtrips" (fun () ->
+        let rows : Row.t list =
+          [ [| Value.Int 42; Value.Str "hello"; Value.Null |];
+            [| Value.Bool true; Value.Float 2.5 |];
+            [| Value.Str "with:colon and 'quote'"; Value.Str "" |];
+            (match Value.date_of_string "2024-06-09" with
+             | d -> [| d |]) ]
+        in
+        let b = Bridge.create ~batch_latency:0.0 ~per_row_cost:0.0 () in
+        let back = Bridge.ship b rows in
+        Alcotest.(check bool) "equal" true (List.for_all2 Row.equal rows back));
+    Util.tc "bridge accounts batches and bytes" (fun () ->
+        let b = Bridge.create ~batch_latency:0.0 ~per_row_cost:0.0 () in
+        ignore (Bridge.ship b [ [| Value.Int 1 |] ]);
+        ignore (Bridge.ship b [ [| Value.Int 2 |]; [| Value.Int 3 |] ]);
+        let batches, rows, bytes = Bridge.stats b in
+        Alcotest.(check int) "batches" 2 batches;
+        Alcotest.(check int) "rows" 3 rows;
+        Alcotest.(check bool) "bytes > 0" true (bytes > 0));
+    Util.tc "oltp capture records inserts and deletes" (fun () ->
+        let oltp = Oltp.create ~latency:0.0 () in
+        ignore (Oltp.exec oltp "CREATE TABLE t(a INTEGER)");
+        Oltp.register_capture oltp ~base:"t" ~delta:"delta_t";
+        ignore (Oltp.exec oltp "INSERT INTO t VALUES (1), (2)");
+        ignore (Oltp.exec oltp "DELETE FROM t WHERE a = 1");
+        Alcotest.(check int) "pending" 3 (Oltp.pending oltp ~base:"t");
+        let drained = Oltp.drain oltp ~base:"t" in
+        Alcotest.(check int) "drained" 3 (List.length drained);
+        Alcotest.(check int) "cleared" 0 (Oltp.pending oltp ~base:"t"));
+    Util.tc "cross-system view tracks the OLTP tables" (fun () ->
+        let p = Pipeline.create ~oltp_latency:0.0 ~schema_sql ~view_sql () in
+        ignore (Pipeline.exec_oltp p "INSERT INTO groups VALUES ('a', 1), ('b', 2)");
+        pipeline_matches_oltp p;
+        ignore (Pipeline.exec_oltp p "INSERT INTO groups VALUES ('a', 10)");
+        ignore (Pipeline.exec_oltp p "DELETE FROM groups WHERE group_index = 'b'");
+        pipeline_matches_oltp p;
+        ignore (Pipeline.exec_oltp p
+                  "UPDATE groups SET group_value = group_value * 2 WHERE group_index = 'a'");
+        pipeline_matches_oltp p);
+    Util.tc "cross-system pipeline survives an empty sync" (fun () ->
+        let p = Pipeline.create ~oltp_latency:0.0 ~schema_sql ~view_sql () in
+        Alcotest.(check int) "no deltas" 0 (Pipeline.sync p);
+        pipeline_matches_oltp p);
+    Util.tc "randomized transactional workload stays consistent" (fun () ->
+        let p = Pipeline.create ~oltp_latency:0.0 ~schema_sql ~view_sql () in
+        let tx = Txgen.create ~seed:99 ~group_domain:8 () in
+        List.iter
+          (fun sql -> ignore (Pipeline.exec_oltp p sql))
+          (Txgen.seed_rows tx 40);
+        for _round = 1 to 6 do
+          List.iter
+            (fun sql -> ignore (Pipeline.exec_oltp p sql))
+            (Txgen.batch tx 25);
+          pipeline_matches_oltp p
+        done);
+    Util.tc "join view across systems maintains replicas" (fun () ->
+        let p =
+          Pipeline.create ~oltp_latency:0.0
+            ~schema_sql:
+              "CREATE TABLE sales(cust INTEGER, amount INTEGER); CREATE \
+               TABLE customers(cust INTEGER, region VARCHAR);"
+            ~view_sql:
+              "CREATE MATERIALIZED VIEW rs AS SELECT customers.region, \
+               SUM(sales.amount) AS total FROM sales JOIN customers ON \
+               sales.cust = customers.cust GROUP BY customers.region"
+            ()
+        in
+        ignore (Pipeline.exec_oltp p "INSERT INTO customers VALUES (1, 'eu'), (2, 'us')");
+        ignore (Pipeline.exec_oltp p "INSERT INTO sales VALUES (1, 10), (2, 20), (1, 5)");
+        ignore (Pipeline.sync p);
+        ignore (Pipeline.exec_oltp p "DELETE FROM sales WHERE amount = 10");
+        let got =
+          List.sort String.compare
+            (Util.rows_of (Pipeline.query p "SELECT region, total FROM rs"))
+        in
+        Alcotest.(check (list string)) "join view" [ "(eu, 5)"; "(us, 20)" ] got);
+    Util.tc "query_without_ivm ships the base tables" (fun () ->
+        let p = Pipeline.create ~oltp_latency:0.0 ~schema_sql ~view_sql () in
+        ignore (Pipeline.exec_oltp p "INSERT INTO groups VALUES ('a', 1), ('a', 2)");
+        let r = Pipeline.query_without_ivm p in
+        Alcotest.(check (list string)) "recompute result" [ "(a, 3, 2)" ]
+          (Util.rows_of r));
+    Util.tc "generated trigger DDL mentions the delta table" (fun () ->
+        let db = Util.db_with [ "CREATE TABLE groups(group_index VARCHAR, group_value INTEGER)" ] in
+        let c =
+          Openivm.Compiler.compile ~flags:Openivm.Flags.paper
+            (Database.catalog db) view_sql
+        in
+        match c.Openivm.Compiler.trigger_sql with
+        | [ ("groups", sql) ] ->
+          Alcotest.(check bool) "mentions delta" true
+            (let needle = "INSERT INTO delta_groups" in
+             let rec go i =
+               i + String.length needle <= String.length sql
+               && (String.sub sql i (String.length needle) = needle || go (i + 1))
+             in
+             go 0)
+        | _ -> Alcotest.fail "expected one trigger");
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) bridge_qcheck

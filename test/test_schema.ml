@@ -1,0 +1,42 @@
+open Openivm_engine
+
+let s : Schema.t =
+  [ Schema.column ~table:"t" "k" Sql.Ast.T_text;
+    Schema.column ~table:"t" "v" Sql.Ast.T_int;
+    Schema.column ~table:"u" "k" Sql.Ast.T_text;
+    Schema.column ~table:"u" "w" Sql.Ast.T_float ]
+
+let suite =
+  [ Util.tc "qualified lookup picks the right binding" (fun () ->
+        let i, c = Schema.find s ~qualifier:(Some "u") ~name:"k" in
+        Alcotest.(check int) "position" 2 i;
+        Alcotest.(check (option string)) "table" (Some "u") c.Schema.table);
+    Util.tc "unqualified unique lookup works" (fun () ->
+        let i, _ = Schema.find s ~qualifier:None ~name:"w" in
+        Alcotest.(check int) "position" 3 i);
+    Util.tc "unqualified ambiguous lookup raises" (fun () ->
+        match Schema.find_opt s ~qualifier:None ~name:"k" with
+        | exception Error.Sql_error _ -> ()
+        | _ -> Alcotest.fail "expected ambiguity error");
+    Util.tc "missing column returns None / raises with message" (fun () ->
+        Alcotest.(check bool) "find_opt" true
+          (Schema.find_opt s ~qualifier:None ~name:"zz" = None);
+        match Schema.find s ~qualifier:(Some "t") ~name:"w" with
+        | exception Error.Sql_error msg ->
+          Alcotest.(check bool) "mentions name" true (String.length msg > 0)
+        | _ -> Alcotest.fail "expected error");
+    Util.tc "requalify rebinds every column" (fun () ->
+        let r = Schema.requalify s "alias" in
+        Alcotest.(check bool) "all rebound" true
+          (List.for_all (fun c -> c.Schema.table = Some "alias") r);
+        (* now the former u.k is ambiguous under the shared alias *)
+        match Schema.find_opt r ~qualifier:(Some "alias") ~name:"k" with
+        | Some (0, _) -> ()
+        | _ -> Alcotest.fail "qualified lookup prefers first match");
+    Util.tc "join concatenates and arity adds" (fun () ->
+        let j = Schema.join s s in
+        Alcotest.(check int) "arity" 8 (Schema.arity j));
+    Util.tc "names in order" (fun () ->
+        Alcotest.(check (list string)) "names" [ "k"; "v"; "k"; "w" ]
+          (Schema.names s));
+  ]

@@ -1,0 +1,88 @@
+open Openivm_engine
+
+let catalog () =
+  Database.catalog
+    (Util.db_with
+       [ "CREATE TABLE t(k VARCHAR, v INTEGER)";
+         "CREATE TABLE u(k VARCHAR, w INTEGER)" ])
+
+let analyze sql =
+  Openivm.Shape.analyze (catalog ()) ~view_name:"v"
+    (Openivm_sql.Parser.parse_select sql)
+
+let accepts sql () =
+  match analyze sql with
+  | Ok _ -> ()
+  | Error reason -> Alcotest.failf "rejected %S: %s" sql reason
+
+let rejects sql () =
+  match analyze sql with
+  | Ok _ -> Alcotest.failf "accepted %S" sql
+  | Error _ -> ()
+
+let suite =
+  [ Util.tc "accepts projection" (accepts "SELECT k, v FROM t");
+    Util.tc "accepts filter" (accepts "SELECT k FROM t WHERE v > 3");
+    Util.tc "accepts computed projection" (accepts "SELECT v + 1 AS x FROM t");
+    Util.tc "accepts sum/count group" (accepts "SELECT k, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY k");
+    Util.tc "accepts min/max group" (accepts "SELECT k, MIN(v) AS lo FROM t GROUP BY k");
+    Util.tc "accepts avg" (accepts "SELECT k, AVG(v) AS m FROM t GROUP BY k");
+    Util.tc "accepts global aggregate" (accepts "SELECT SUM(v) AS s FROM t");
+    Util.tc "accepts join" (accepts "SELECT t.k, t.v, u.w FROM t JOIN u ON t.k = u.k");
+    Util.tc "accepts join aggregate"
+      (accepts "SELECT u.k, SUM(t.v) AS s FROM t JOIN u ON t.k = u.k GROUP BY u.k");
+    Util.tc "accepts group by expression"
+      (accepts "SELECT v % 10 AS bucket, COUNT(*) AS n FROM t GROUP BY v % 10");
+    Util.tc "accepts star projection" (accepts "SELECT * FROM t");
+    Util.tc "rejects DISTINCT" (rejects "SELECT DISTINCT k FROM t");
+    Util.tc "rejects ORDER BY" (rejects "SELECT k FROM t ORDER BY k");
+    Util.tc "rejects LIMIT" (rejects "SELECT k FROM t LIMIT 3");
+    Util.tc "rejects HAVING" (rejects "SELECT k, SUM(v) AS s FROM t GROUP BY k HAVING SUM(v) > 0");
+    Util.tc "rejects CTE" (rejects "WITH c AS (SELECT 1 AS one) SELECT one FROM c");
+    Util.tc "rejects set operation" (rejects "SELECT k FROM t UNION SELECT k FROM u");
+    Util.tc "rejects derived table" (rejects "SELECT q.k FROM (SELECT k FROM t) AS q");
+    Util.tc "accepts three-way join (extension)"
+      (accepts "SELECT a.k, b.w, c.v FROM t a JOIN u b ON a.k = b.k JOIN t c ON b.k = c.k");
+    Util.tc "rejects five-way join"
+      (rejects
+         "SELECT a.k FROM t a JOIN u b ON a.k = b.k JOIN t c ON b.k = c.k           JOIN u d ON c.k = d.k JOIN t e ON d.k = e.k");
+    Util.tc "rejects outer join" (rejects "SELECT t.k FROM t LEFT JOIN u ON t.k = u.k");
+    Util.tc "rejects distinct aggregate" (rejects "SELECT k, COUNT(DISTINCT v) AS n FROM t GROUP BY k");
+    Util.tc "rejects expression over aggregate"
+      (rejects "SELECT k, SUM(v) + 1 AS s FROM t GROUP BY k");
+    Util.tc "rejects unprojected group key" (rejects "SELECT SUM(v) AS s FROM t GROUP BY k");
+    Util.tc "rejects duplicate output names" (rejects "SELECT k, v AS k FROM t");
+    Util.tc "classification strings" (fun () ->
+        let klass sql =
+          match analyze sql with
+          | Ok shape ->
+            Openivm_sql.Analysis.class_to_string shape.Openivm.Shape.klass
+          | Error e -> "error: " ^ e
+        in
+        Alcotest.(check string) "projection" "projection" (klass "SELECT k FROM t");
+        Alcotest.(check string) "filter" "filter" (klass "SELECT k FROM t WHERE v > 1");
+        Alcotest.(check string) "agg" "group_aggregate"
+          (klass "SELECT k, SUM(v) AS s FROM t GROUP BY k");
+        Alcotest.(check string) "join" "join"
+          (klass "SELECT t.k, u.w FROM t JOIN u ON t.k = u.k");
+        Alcotest.(check string) "join agg" "join_aggregate"
+          (klass "SELECT u.k, COUNT(*) AS n FROM t JOIN u ON t.k = u.k GROUP BY u.k"));
+    Util.tc "shape: group cols and aggregates split" (fun () ->
+        match analyze "SELECT k, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY k" with
+        | Ok shape ->
+          Alcotest.(check int) "groups" 1 (List.length (Openivm.Shape.group_cols shape));
+          Alcotest.(check int) "aggs" 2 (List.length (Openivm.Shape.aggregates shape));
+          Alcotest.(check bool) "not global" false (Openivm.Shape.is_global shape);
+          Alcotest.(check bool) "no minmax" false (Openivm.Shape.has_min_max shape)
+        | Error e -> Alcotest.fail e);
+    Util.tc "shape: global flag" (fun () ->
+        match analyze "SELECT SUM(v) AS s FROM t" with
+        | Ok shape -> Alcotest.(check bool) "global" true (Openivm.Shape.is_global shape)
+        | Error e -> Alcotest.fail e);
+    Util.tc "shape: visible names in projection order" (fun () ->
+        match analyze "SELECT SUM(v) AS s, k FROM t GROUP BY k" with
+        | Ok shape ->
+          Alcotest.(check (list string)) "names" [ "s"; "k" ]
+            (Openivm.Shape.visible_names shape)
+        | Error e -> Alcotest.fail e);
+  ]

@@ -1,0 +1,61 @@
+open Openivm_engine
+open Openivm_workload
+
+let fresh () =
+  let db = Database.create () in
+  List.iter (fun sql -> Util.exec db sql) Tpch_lite.all_ddl;
+  db
+
+let suite =
+  [ Util.tc "generator is deterministic under a seed" (fun () ->
+        let g1 = Tpch_lite.create ~seed:5 ~customers:10 () in
+        let g2 = Tpch_lite.create ~seed:5 ~customers:10 () in
+        Alcotest.(check (list string)) "same statements"
+          (Tpch_lite.order_statements g1)
+          (Tpch_lite.order_statements g2));
+    Util.tc "populate builds a consistent star" (fun () ->
+        let db = fresh () in
+        let gen = Tpch_lite.create ~customers:20 () in
+        Tpch_lite.populate db gen ~orders:50;
+        Util.check_scalar db "SELECT COUNT(*) FROM customer" "20";
+        Util.check_scalar db "SELECT COUNT(*) FROM orders" "50";
+        (* every line item joins to an order, every order to a customer *)
+        Util.check_scalar db
+          "SELECT COUNT(*) FROM lineitem WHERE l_orderkey NOT IN (SELECT \
+           o_orderkey FROM orders)"
+          "0";
+        Util.check_scalar db
+          "SELECT COUNT(*) FROM orders WHERE o_custkey NOT IN (SELECT \
+           c_custkey FROM customer)"
+          "0");
+    Util.tc "revenue view stays consistent through orders and cancellations"
+      (fun () ->
+         let db = fresh () in
+         let gen = Tpch_lite.create ~customers:15 () in
+         Tpch_lite.populate db gen ~orders:30;
+         let v = Openivm.Runner.install db Tpch_lite.revenue_view in
+         for _ = 1 to 20 do
+           List.iter (fun sql -> Util.exec db sql)
+             (Tpch_lite.order_statements gen)
+         done;
+         for _ = 1 to 8 do
+           List.iter (fun sql -> Util.exec db sql)
+             (Tpch_lite.cancel_statements gen)
+         done;
+         Openivm.Runner.refresh v;
+         Util.check_view_consistent db v);
+    Util.tc "date predicates work over the generated data" (fun () ->
+        let db = fresh () in
+        let gen = Tpch_lite.create ~customers:10 () in
+        Tpch_lite.populate db gen ~orders:40;
+        let early =
+          Database.query_int db
+            "SELECT COUNT(*) FROM orders WHERE o_orderdate < DATE '1995-01-01'"
+        in
+        let late =
+          Database.query_int db
+            "SELECT COUNT(*) FROM orders WHERE o_orderdate >= DATE '1995-01-01'"
+        in
+        Alcotest.(check int) "partition covers all" 40 (early + late);
+        Alcotest.(check bool) "both sides populated" true (early > 0 && late > 0));
+  ]
