@@ -141,6 +141,155 @@ let expected_delta_arg =
   Arg.(value & opt int 1000 & info [ "expected-delta" ] ~docv:"ROWS"
          ~doc:"Expected delta rows per refresh, for --advise.")
 
+(* --- the htap subcommand: cross-system pipeline under (optional) chaos --- *)
+
+let htap_action transactions seed chaos drop dup reorder corrupt crash
+    fault_seed sync_every strict_replica =
+  let open Openivm_htap in
+  let knob cli_value chaos_default =
+    match cli_value with
+    | Some p when p < 0.0 || p > 1.0 ->
+      Error.fail "fault probabilities must be in [0, 1], got %g" p
+    | Some p -> p
+    | None -> if chaos then chaos_default else 0.0
+  in
+  try
+    let base = Fault.chaos () in
+    let spec =
+      { Fault.drop = knob drop base.Fault.drop;
+        duplicate = knob dup base.Fault.duplicate;
+        reorder = knob reorder base.Fault.reorder;
+        corrupt = knob corrupt base.Fault.corrupt;
+        crash = knob crash base.Fault.crash }
+    in
+    let faults = Fault.create ~seed:fault_seed spec in
+    let bridge = Bridge.create ~faults () in
+    let p =
+      Pipeline.create ~oltp_latency:0.0 ~bridge ~strict_replica
+        ~schema_sql:
+          "CREATE TABLE groups(group_index VARCHAR, group_value INTEGER);"
+        ~view_sql:
+          "CREATE MATERIALIZED VIEW query_groups AS SELECT group_index, \
+           SUM(group_value) AS total_value, COUNT(*) AS n FROM groups \
+           GROUP BY group_index"
+        ()
+    in
+    let tx = Txgen.create ~seed ~group_domain:16 () in
+    List.iter
+      (fun sql -> ignore (Pipeline.exec_oltp p sql))
+      (Txgen.seed_rows tx (max 50 (transactions / 5)));
+    Printf.printf "faults: %s\n%!"
+      (match Fault.to_string faults with "" -> "none" | s -> s);
+    Printf.printf "running %d OLTP transactions (sync every %d)...\n%!"
+      transactions sync_every;
+    let mid_run_recoveries = ref 0 in
+    List.iteri
+      (fun i sql ->
+         ignore (Pipeline.exec_oltp p sql);
+         if (i + 1) mod sync_every = 0 then begin
+           ignore (Pipeline.sync p);
+           (* play supervisor: restart a crashed OLAP side and replay *)
+           if Pipeline.crashed p then begin
+             incr mid_run_recoveries;
+             ignore (Pipeline.recover p)
+           end
+         end)
+      (Txgen.batch tx transactions);
+    if !mid_run_recoveries > 0 then
+      Printf.printf "restarted the OLAP side %d time(s) mid-run\n"
+        !mid_run_recoveries;
+    let r = Pipeline.recover p in
+    let s = Pipeline.stats p in
+    let batches, rows, bytes = Bridge.stats bridge in
+    Printf.printf
+      "bridge wire traffic:   %d batches, %d rows, %d bytes (retries \
+       included)\n"
+      batches rows bytes;
+    Printf.printf
+      "faults injected:       %s\n"
+      (String.concat ", "
+         (List.map
+            (fun k ->
+               Printf.sprintf "%s=%d" (Fault.kind_to_string k)
+                 (Fault.injected faults k))
+            Fault.all_kinds));
+    Printf.printf
+      "delivery:              %d batches / %d rows applied, %d retries, %d \
+       deduplicated, %d checksum rejects, %d gaps\n"
+      s.Pipeline.batches_applied s.Pipeline.rows_applied s.Pipeline.retries
+      s.Pipeline.deduped s.Pipeline.checksum_failures s.Pipeline.gaps;
+    Printf.printf
+      "recovery:              %d crashes rolled back, %d recoveries, %d \
+       full resyncs, %d replica misses\n"
+      s.Pipeline.crashes s.Pipeline.recoveries s.Pipeline.resyncs
+      s.Pipeline.replica_misses;
+    Printf.printf "recover: replayed %d batch(es)%s\n" r.Pipeline.replayed
+      (if r.Pipeline.resynced then ", then full resync" else "");
+    if r.Pipeline.converged then begin
+      print_endline
+        "converged: view = replica fold = full recompute over OLTP state";
+      Ok ()
+    end
+    else Error "view did NOT converge after recovery"
+  with Error.Sql_error msg -> Error msg
+
+let transactions_arg =
+  Arg.(value & opt int 500 & info [ "transactions"; "n" ] ~docv:"N"
+         ~doc:"OLTP transactions to run.")
+
+let tx_seed_arg =
+  Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Workload RNG seed.")
+
+let chaos_arg =
+  Arg.(value & flag & info [ "chaos" ]
+         ~doc:"Enable fault injection on the bridge: batch drop, \
+               duplication, reordering, wire corruption and mid-apply OLAP \
+               crashes, each at 10% unless overridden by the per-fault \
+               probability options.")
+
+let fault_prob name doc =
+  Arg.(value & opt (some float) None & info [ name ] ~docv:"PROB" ~doc)
+
+let drop_arg = fault_prob "drop" "Probability a batch is dropped in transit."
+let dup_arg = fault_prob "dup" "Probability a batch is delivered twice."
+let reorder_arg =
+  fault_prob "reorder"
+    "Probability a batch is held back and delivered after a later one."
+let corrupt_arg =
+  fault_prob "corrupt"
+    "Probability a wire byte is flipped (caught by the batch checksum)."
+let crash_arg =
+  fault_prob "crash"
+    "Probability the OLAP side crashes mid-batch during apply (rolled \
+     back, recovered by replay or full resync)."
+
+let fault_seed_arg =
+  Arg.(value & opt int 0xC4A05 & info [ "fault-seed" ] ~docv:"SEED"
+         ~doc:"Fault-injection RNG seed (failures replay deterministically).")
+
+let sync_every_arg =
+  Arg.(value & opt int 20 & info [ "sync-every" ] ~docv:"K"
+         ~doc:"Ship pending deltas every K transactions.")
+
+let strict_replica_arg =
+  Arg.(value & flag & info [ "strict-replica" ]
+         ~doc:"Treat a replica deletion that finds no matching row as an \
+               error instead of a counted miss.")
+
+let htap_cmd =
+  let doc =
+    "run the cross-system HTAP pipeline, optionally under fault injection"
+  in
+  Cmd.v
+    (Cmd.info "htap" ~doc)
+    Term.(
+      const (fun a b c d e f g h i j k ->
+          to_exit (htap_action a b c d e f g h i j k))
+      $ transactions_arg $ tx_seed_arg $ chaos_arg $ drop_arg $ dup_arg
+      $ reorder_arg $ corrupt_arg $ crash_arg $ fault_seed_arg
+      $ sync_every_arg $ strict_replica_arg)
+
 let compile_cmd =
   let doc = "compile a materialized view definition into IVM SQL" in
   Cmd.v
@@ -154,6 +303,6 @@ let compile_cmd =
 
 let main_cmd =
   let doc = "OpenIVM: a SQL-to-SQL compiler for incremental computations" in
-  Cmd.group (Cmd.info "openivm" ~version:"1.0.0" ~doc) [ compile_cmd ]
+  Cmd.group (Cmd.info "openivm" ~version:"1.0.0" ~doc) [ compile_cmd; htap_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

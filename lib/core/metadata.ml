@@ -7,9 +7,28 @@ open Sqlgen
 
 let views_table = "_openivm_views"
 let scripts_table = "_openivm_scripts"
+let watermarks_table = "_openivm_bridge_watermarks"
+
+(* The bridge's delivery ledger: the highest batch sequence number applied
+   per delta source. Kept with the other metadata tables so a snapshot of
+   an IVM-enabled OLAP database carries its delivery state. *)
+let watermark_ddl : Ast.stmt list =
+  [ create_table ~if_not_exists:true watermarks_table
+      ~primary_key:[ "source" ]
+      [ coldef "source" Ast.T_text; coldef "last_seq" Ast.T_int ] ]
+
+let set_watermark ~(source : string) ~(seq : int) : Ast.stmt list =
+  [ delete watermarks_table ~where:(eq (col "source") (str_lit source));
+    insert watermarks_table
+      (Ast.Values [ [ str_lit source; int_lit seq ] ]) ]
+
+let watermark_query ~(source : string) : string =
+  Printf.sprintf "SELECT last_seq FROM %s WHERE source = '%s'"
+    watermarks_table source
 
 let ddl : Ast.stmt list =
-  [ create_table ~if_not_exists:true views_table
+  watermark_ddl
+  @ [ create_table ~if_not_exists:true views_table
       ~primary_key:[ "view_name" ]
       [ coldef "view_name" Ast.T_text;
         coldef "view_sql" Ast.T_text;

@@ -7,9 +7,23 @@ module Ast = Openivm_sql.Ast
 
 val views_table : string
 val scripts_table : string
+val watermarks_table : string
 
 val ddl : Ast.stmt list
-(** CREATE TABLE IF NOT EXISTS for both tables. *)
+(** CREATE TABLE IF NOT EXISTS for all metadata tables (views, scripts,
+    bridge watermarks). *)
+
+val watermark_ddl : Ast.stmt list
+(** Just the bridge-watermark table (for pipelines that attach to a
+    database installed before the table existed). *)
+
+val set_watermark : source:string -> seq:int -> Ast.stmt list
+(** Record [seq] as the highest batch applied for [source]
+    (delete + insert, idempotent). *)
+
+val watermark_query : source:string -> string
+(** SELECT returning the recorded watermark for [source] (empty result =
+    nothing applied yet). *)
 
 val register :
   Flags.t -> Shape.t -> view_sql:string -> logical_plan:string ->

@@ -57,6 +57,25 @@ let refresh v =
      || v.compiled.Compiler.script.Propagate.kind = Propagate.Full
   then force_refresh v
 
+(** Rebuild the view from the base tables as they stand now: discard all
+    pending deltas, truncate the view's backing table, and rerun the
+    initial load. The recovery path of last resort — equivalent to
+    dropping and re-creating the view, but keeping triggers, metadata and
+    compiled scripts in place. *)
+let reinitialize v =
+  let catalog = Database.catalog v.db in
+  Trigger.without_hooks (Database.triggers v.db) (fun () ->
+      ignore (Table.truncate (Catalog.find_table catalog (view_name v)));
+      List.iter
+        (fun base ->
+           ignore
+             (Table.truncate
+                (Catalog.find_table catalog
+                   (Compiler.delta_table v.compiled base))))
+        (Compiler.base_tables v.compiled);
+      exec_stmts v.db [ v.compiled.Compiler.initial_load ]);
+  v.pending_deltas <- 0
+
 (** Query the view, honoring the refresh mode (lazy refresh-on-read). *)
 let query v (sql : string) : Database.query_result =
   (match v.compiled.Compiler.flags.Flags.refresh with

@@ -31,6 +31,12 @@ val refresh : view -> unit
 val force_refresh : view -> unit
 (** Run the propagation script unconditionally. *)
 
+val reinitialize : view -> unit
+(** Rebuild the view from the base tables as they stand now: truncate the
+    backing table and delta tables, rerun the initial load, reset pending
+    deltas. Capture triggers, metadata and compiled scripts stay in
+    place — the full-resync path of crash recovery. *)
+
 val query : view -> string -> Database.query_result
 (** Query through the view's refresh policy (lazy refresh-on-read). *)
 

@@ -65,6 +65,33 @@ let save (db : Database.t) ~(dir : string) : int =
     names;
   List.length names
 
+(* --- in-memory table snapshots (transactional apply / rollback) --- *)
+
+type mem = (string * Row.t list) list
+
+(** Capture the current rows of [tables] so a failed multi-table write can
+    be rolled back all-or-nothing. Row arrays are copied: later in-place
+    updates cannot leak into the memo. *)
+let capture (db : Database.t) ~(tables : string list) : mem =
+  let catalog = Database.catalog db in
+  List.map
+    (fun name ->
+       let tbl = Catalog.find_table catalog name in
+       (name, List.map Array.copy (Table.to_rows tbl)))
+    tables
+
+(** Restore every captured table to its memoized contents (truncate +
+    reinsert, hooks disabled — rollback must not re-trigger capture). *)
+let restore (db : Database.t) (memo : mem) : unit =
+  let catalog = Database.catalog db in
+  Trigger.without_hooks (Database.triggers db) (fun () ->
+      List.iter
+        (fun (name, rows) ->
+           let tbl = Catalog.find_table catalog name in
+           ignore (Table.truncate tbl);
+           List.iter (fun row -> Table.insert tbl (Array.copy row)) rows)
+        memo)
+
 (** Load a snapshot into a fresh database. Capture triggers are not
     restored — reinstall materialized views through [Openivm.Runner] to
     re-arm IVM. *)

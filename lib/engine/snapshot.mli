@@ -11,3 +11,19 @@ val save : Database.t -> dir:string -> int
 val load : dir:string -> Database.t
 (** Load a snapshot into a fresh database (indexes rebuilt). Raises
     {!Error.Sql_error} when the directory holds no snapshot. *)
+
+(** {1 In-memory table snapshots}
+
+    Lightweight capture/restore of a few named tables, used by the HTAP
+    bridge to make a multi-table batch apply all-or-nothing: capture the
+    delta table and replica, apply, and on a mid-batch failure restore
+    both — no partial batch is ever visible. *)
+
+type mem
+
+val capture : Database.t -> tables:string list -> mem
+(** Deep-copy the current rows of [tables]. *)
+
+val restore : Database.t -> mem -> unit
+(** Truncate each captured table and reinsert its memoized rows (hooks
+    disabled). *)

@@ -1,0 +1,90 @@
+(** Deterministic fault injection for the cross-system bridge.
+
+    Each fault kind fires independently with a configured probability from
+    a dedicated seeded RNG, so a failing chaos run replays exactly from
+    its seed regardless of how the surrounding workload perturbs other
+    random state. *)
+
+type kind = Drop | Duplicate | Reorder | Corrupt | Crash
+
+let all_kinds = [ Drop; Duplicate; Reorder; Corrupt; Crash ]
+
+let kind_to_string = function
+  | Drop -> "drop"
+  | Duplicate -> "duplicate"
+  | Reorder -> "reorder"
+  | Corrupt -> "corrupt"
+  | Crash -> "crash"
+
+type spec = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  corrupt : float;
+  crash : float;
+}
+
+let none = { drop = 0.; duplicate = 0.; reorder = 0.; corrupt = 0.; crash = 0. }
+
+let chaos ?(drop = 0.1) ?(duplicate = 0.1) ?(reorder = 0.1) ?(corrupt = 0.1)
+    ?(crash = 0.1) () =
+  { drop; duplicate; reorder; corrupt; crash }
+
+let probability spec = function
+  | Drop -> spec.drop
+  | Duplicate -> spec.duplicate
+  | Reorder -> spec.reorder
+  | Corrupt -> spec.corrupt
+  | Crash -> spec.crash
+
+type t = {
+  spec : spec;
+  seed : int;
+  rng : Random.State.t;
+  mutable suspended : int;  (** > 0 = faults off (recovery, full resync) *)
+  injected : (kind * int ref) list;
+}
+
+let create ?(seed = 0xC4A05) (spec : spec) : t =
+  { spec; seed; rng = Random.State.make [| seed |]; suspended = 0;
+    injected = List.map (fun k -> (k, ref 0)) all_kinds }
+
+let seed t = t.seed
+let spec t = t.spec
+
+let active t = t.suspended = 0
+
+(** Roll the dice for [kind]; counts the injection when it fires. While
+    suspended, nothing fires and no randomness is consumed (so recovery
+    does not perturb the replayable fault schedule). *)
+let roll t kind : bool =
+  if t.suspended > 0 then false
+  else begin
+    let p = probability t.spec kind in
+    let fires = p > 0.0 && Random.State.float t.rng 1.0 < p in
+    if fires then incr (List.assoc kind t.injected);
+    fires
+  end
+
+(** An extra deterministic draw in [0, bound) — where in a batch a crash
+    lands, which wire byte corruption flips. *)
+let draw t bound = if bound <= 0 then 0 else Random.State.int t.rng bound
+
+let injected t kind = !(List.assoc kind t.injected)
+
+let total_injected t =
+  List.fold_left (fun acc (_, r) -> acc + !r) 0 t.injected
+
+(** Run [f] with fault injection suspended (nests). *)
+let suspended t f =
+  t.suspended <- t.suspended + 1;
+  Fun.protect ~finally:(fun () -> t.suspended <- t.suspended - 1) f
+
+let to_string t =
+  String.concat ", "
+    (List.filter_map
+       (fun k ->
+          let p = probability t.spec k in
+          if p <= 0.0 then None
+          else Some (Printf.sprintf "%s=%.0f%%" (kind_to_string k) (100. *. p)))
+       all_kinds)

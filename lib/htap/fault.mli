@@ -1,0 +1,54 @@
+(** Deterministic fault injection for the cross-system bridge: each fault
+    kind fires with a configured probability from a dedicated seeded RNG,
+    so a failing chaos run replays exactly from its seed. *)
+
+type kind = Drop | Duplicate | Reorder | Corrupt | Crash
+
+val all_kinds : kind list
+val kind_to_string : kind -> string
+
+(** Per-kind fire probabilities in [0, 1]. *)
+type spec = {
+  drop : float;       (** batch lost in transit *)
+  duplicate : float;  (** batch delivered twice *)
+  reorder : float;    (** batch held back, delivered after a later one *)
+  corrupt : float;    (** a wire byte flipped (caught by the checksum) *)
+  crash : float;      (** OLAP crashes mid-batch during apply *)
+}
+
+val none : spec
+
+val chaos :
+  ?drop:float -> ?duplicate:float -> ?reorder:float -> ?corrupt:float ->
+  ?crash:float -> unit -> spec
+(** Every knob defaults to 10%. *)
+
+val probability : spec -> kind -> float
+
+type t
+
+val create : ?seed:int -> spec -> t
+val seed : t -> int
+val spec : t -> spec
+
+val active : t -> bool
+(** False while inside {!suspended}. *)
+
+val roll : t -> kind -> bool
+(** Fire [kind] with its configured probability; counts the injection.
+    Always false (consuming no randomness) while suspended. *)
+
+val draw : t -> int -> int
+(** Deterministic draw in [0, bound): crash position, corrupted byte. *)
+
+val injected : t -> kind -> int
+(** Injections fired so far, per kind. *)
+
+val total_injected : t -> int
+
+val suspended : t -> (unit -> 'a) -> 'a
+(** Run with fault injection off (recovery and full resync use this —
+    modelling that a restarted pipeline retries over a healthy link). *)
+
+val to_string : t -> string
+(** Human-readable non-zero knobs, e.g. ["drop=10%, crash=5%"]. *)

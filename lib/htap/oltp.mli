@@ -1,6 +1,7 @@
 (** The OLTP side of the cross-system pipeline (the paper's PostgreSQL): a
     second engine instance with per-statement latency plus delta-capture
-    triggers appending multiplicity-tagged row images into delta tables. *)
+    triggers appending multiplicity-tagged row images into delta tables,
+    managed as an acknowledge-then-truncate outbox. *)
 
 open Openivm_engine
 
@@ -18,9 +19,37 @@ val query : t -> string -> Database.query_result
 val register_capture : t -> base:string -> delta:string -> unit
 (** Install the engine-side equivalent of the generated PostgreSQL capture
     trigger: changes to [base] append OLD/NEW images into [delta] (created
-    if missing) with the boolean multiplicity. *)
+    if missing) with the boolean multiplicity. Raises {!Error.Sql_error}
+    if [base] already has a capture — a second trigger would double-
+    capture every change. *)
+
+(** {1 Outbox protocol (exactly-once delivery)} *)
+
+val begin_batch : t -> base:string -> (int * Row.t list) option
+(** The unacknowledged outbox batch for [base]: (sequence number, rows).
+    Snapshots the pending captured rows under a fresh per-source sequence
+    number on first call; repeated calls return the same batch until
+    {!ack} — the retry/replay path. Rows stay in the delta table until
+    acknowledged. [None] = nothing to ship. *)
+
+val ack : t -> base:string -> seq:int -> unit
+(** The OLAP side durably applied batch [seq]: remove its rows from the
+    delta table and clear the in-flight slot. Idempotent (duplicate acks
+    are no-ops). *)
+
+val inflight_seq : t -> base:string -> int option
+(** Sequence number of the batch awaiting acknowledgement, if any. *)
+
+val reset_outbox : t -> base:string -> int
+(** Abandon in-flight and captured rows for [base] (full resync copies the
+    base table instead); returns the watermark the OLAP side must record
+    so the next assigned batch arrives as watermark + 1. *)
+
+(** {1 Legacy} *)
 
 val drain : t -> base:string -> Row.t list
-(** Return and clear the captured delta rows for [base]. *)
+(** Return and clear the captured delta rows for [base] — fire-and-forget:
+    the rows are gone whether or not they land anywhere. Prefer
+    {!begin_batch}/{!ack}. *)
 
 val pending : t -> base:string -> int

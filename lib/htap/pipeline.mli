@@ -3,9 +3,30 @@
     bridge into the OLAP engine's delta tables; the compiled propagation
     script folds them into the materialized view. Views whose propagation
     reads base tables (joins, MIN/MAX rederivation) additionally keep
-    OLAP-side replicas in sync from the same delta stream. *)
+    OLAP-side replicas in sync from the same delta stream.
+
+    Delivery is exactly-once end to end: OLTP-side acknowledge-then-
+    truncate outbox, per-source watermarks in [_openivm_bridge_watermarks]
+    making duplicate/replayed batches no-ops, all-or-nothing batch apply
+    with snapshot rollback, bounded retry with exponential backoff, and a
+    {!recover} ladder (drain → replay → full resync) after a simulated
+    OLAP crash. *)
 
 open Openivm_engine
+
+(** Delivery and recovery counters (all cumulative). *)
+type stats = {
+  mutable retries : int;          (** resends of an unacknowledged batch *)
+  mutable deduped : int;          (** duplicate batches skipped by watermark *)
+  mutable checksum_failures : int;(** corrupted batches detected, discarded *)
+  mutable gaps : int;             (** out-of-order arrivals ahead of the watermark *)
+  mutable crashes : int;          (** mid-apply crashes injected (rolled back) *)
+  mutable batches_applied : int;
+  mutable rows_applied : int;
+  mutable replica_misses : int;   (** replica deletions that found no row *)
+  mutable recoveries : int;
+  mutable resyncs : int;          (** full rebuilds from base tables *)
+}
 
 type t = {
   oltp : Oltp.t;
@@ -14,6 +35,11 @@ type t = {
   view : Openivm.Runner.view;
   base_tables : string list;
   needs_replica : bool;
+  strict_replica : bool;
+  max_retries : int;
+  backoff_base : float;
+  stats : stats;
+  mutable crashed : bool;
   mutable syncs : int;
 }
 
@@ -21,28 +47,67 @@ val create :
   ?flags:Openivm.Flags.t ->
   ?oltp_latency:float ->
   ?bridge:Bridge.t ->
+  ?strict_replica:bool ->
+  ?max_retries:int ->
+  ?backoff_base:float ->
   schema_sql:string ->
   view_sql:string ->
   unit ->
   t
 (** [schema_sql] (CREATE TABLE statements, [;]-separated) runs on both
     engines; [view_sql] is compiled and installed on the OLAP side;
-    capture triggers are registered on the OLTP side. *)
+    capture triggers are registered on the OLTP side. Pass a [bridge]
+    created with a {!Fault} harness to inject failures. [strict_replica]
+    turns silent replica divergence into an error; [max_retries] (default
+    8) bounds resends per sync; [backoff_base] (default 50µs) seeds the
+    exponential backoff between resends. *)
 
 val view : t -> Openivm.Runner.view
 val olap : t -> Database.t
 val oltp : t -> Oltp.t
+val stats : t -> stats
+
+val crashed : t -> bool
+(** Is the OLAP side down (a mid-apply crash was injected and not yet
+    recovered)? While down, {!sync} is a no-op and {!query} raises. *)
 
 val exec_oltp : t -> string -> Database.exec_result
 (** Run a transactional statement on the OLTP side. *)
 
 val sync : t -> int
-(** Ship pending deltas OLTP → OLAP; returns the number of rows moved. *)
+(** Ship pending outbox batches OLTP → OLAP with bounded retry and
+    idempotent apply; returns the number of delta rows applied. *)
 
 val query : t -> string -> Database.query_result
-(** Sync, lazily refresh, then query the OLAP side. *)
+(** Sync, lazily refresh, then query the OLAP side. Raises
+    {!Error.Sql_error} while {!crashed}. *)
 
 val view_contents : ?order_by:string -> t -> Database.query_result
+
+val verify : t -> bool
+(** Does the materialized view agree exactly with recomputing its defining
+    query over the current OLTP state? False while {!crashed}. *)
+
+(** {1 Crash recovery} *)
+
+type recovery = {
+  replayed : int;   (** outbox batches landed by replay *)
+  resynced : bool;  (** replay was not enough: rebuilt from base tables *)
+  converged : bool; (** view = full recompute afterwards *)
+}
+
+val recover : t -> recovery
+(** The recovery ladder after an OLAP crash (also safe on a healthy
+    pipeline): drain in-flight batches, replay unacknowledged outbox
+    batches over a healthy link (idempotent apply makes duplicates
+    no-ops), and — if the view still disagrees with the ground truth —
+    full resync from the base tables. *)
+
+val full_resync : t -> unit
+(** Rebuild the OLAP side from scratch: abandon outboxes and in-flight
+    traffic, re-copy base tables over the bridge, rerun the view's initial
+    load, fast-forward watermarks — the paper's non-IVM baseline, paid
+    once. *)
 
 val query_without_ivm : t -> Database.query_result
 (** The non-IVM cross-system baseline: ship the entire base tables over

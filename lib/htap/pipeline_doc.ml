@@ -6,12 +6,17 @@
     {v
       OLTP engine ("postgres")            OLAP engine ("duckdb")
       ------------------------            ----------------------
-      base tables  --triggers-->  delta_T
-                                    |  Oltp.drain
+      base tables  --triggers-->  delta_T   (the outbox)
+                                    |  Oltp.begin_batch   (seq, rows stay put)
                                     v
-                                 Bridge.ship  (serialize, latency, deserialize)
-                                    |
+                                 Bridge.send  (serialize, checksum, latency,
+                                    |          injected faults)
                                     v
+                     watermark check (_openivm_bridge_watermarks):
+                       seq <= wm  -> duplicate, drop + re-ack
+                       seq  = wm+1 -> apply under Snapshot (all-or-nothing)
+                                    |        then advance wm, Oltp.ack
+                                    v        (ack empties the outbox)
                               OLAP delta_T tables --+--> replicas (joins/minmax)
                                                     |
                                          Runner.refresh (compiled SQL script)
@@ -27,6 +32,21 @@
     before the SELECT runs, so the answer equals recomputing the view
     query over the OLTP state at call time. Between queries the view may
     lag (lazy refresh) — the recency/throughput trade-off of paper §1.
+
+    {1 Failure model}
+
+    The link may drop, duplicate, reorder or corrupt batches, and the
+    OLAP side may crash mid-apply ([Fault] injects all five). Delivery is
+    exactly-once regardless: batches carry a per-source sequence number
+    and checksum; the outbox keeps rows until acknowledged, so resending
+    is always possible; the per-source watermark makes re-applying always
+    safe. A mid-apply crash rolls the batch back via an in-memory
+    snapshot, leaving the pipeline [crashed] until [Pipeline.recover]
+    climbs the ladder: replay unacknowledged outbox batches over a
+    fault-suppressed link, verify the view against a full recompute, and
+    fall back to a full resync from the base tables if verification
+    fails. [recover] reports whether the system converged. See
+    [DESIGN.md] section 7 for the protocol in full.
 
     {1 What "cross-system" costs}
 
