@@ -1,0 +1,16 @@
+-- Flat views: projection and filter classes, plus a computed column.
+
+CREATE TABLE events (
+  event_id INTEGER PRIMARY KEY,
+  kind VARCHAR,
+  payload VARCHAR,
+  weight INTEGER
+);
+
+CREATE MATERIALIZED VIEW heavy_events AS
+SELECT event_id, kind, weight * 2 AS double_weight
+FROM events
+WHERE weight > 10;
+
+CREATE MATERIALIZED VIEW event_mirror AS
+SELECT * FROM events;

@@ -1,0 +1,19 @@
+-- Two-table join under aggregation (the paper's announced JOIN extension).
+
+CREATE TABLE orders (
+  order_id INTEGER PRIMARY KEY,
+  customer_id INTEGER,
+  order_day DATE
+);
+CREATE INDEX idx_orders_customer ON orders (customer_id);
+
+CREATE TABLE customers (
+  customer_id INTEGER PRIMARY KEY,
+  region VARCHAR
+);
+
+CREATE MATERIALIZED VIEW revenue_by_region AS
+SELECT c.region, COUNT(*) AS orders_n
+FROM orders o
+JOIN customers c ON o.customer_id = c.customer_id
+GROUP BY c.region;

@@ -1,0 +1,17 @@
+-- MIN/MAX maintenance: supported, but `openivm check` points out that
+-- deletes touching a group's extremum force a per-group recompute
+-- (IVM101) and that AVG is kept as decomposed SUM/COUNT state (IVM102).
+
+CREATE TABLE readings (
+  sensor VARCHAR,
+  reading INTEGER
+);
+CREATE INDEX idx_readings_sensor ON readings (sensor);
+
+CREATE MATERIALIZED VIEW sensor_stats AS
+SELECT sensor,
+       MIN(reading) AS lo,
+       MAX(reading) AS hi,
+       AVG(reading) AS mean
+FROM readings
+GROUP BY sensor;

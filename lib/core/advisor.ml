@@ -55,21 +55,38 @@ let live_group_count (catalog : Catalog.t) (shape : Shape.t) ~base_rows : int =
   | Some tbl when Table.row_count tbl > 0 -> Table.row_count tbl
   | _ -> max 1 (int_of_float (sqrt (float_of_int (max 1 base_rows))))
 
+(** True when a plain column of a base table is covered by the primary key
+    or a single-column secondary index — point lookups on it avoid a table
+    scan. Unknown tables/columns count as covered (reported elsewhere). *)
+let column_indexed (catalog : Catalog.t) ~(table : string) ~(column : string) :
+  bool =
+  match Catalog.find_table_opt catalog table with
+  | None -> true
+  | Some tbl ->
+    (match Schema.find_opt tbl.Table.schema ~qualifier:None ~name:column with
+     | Some (i, _) ->
+       (Array.length tbl.Table.primary_key = 1 && tbl.Table.primary_key.(0) = i)
+       || List.exists
+         (fun ix -> ix.Table.key_positions = [| i |])
+         tbl.Table.secondary
+     | None -> true
+     | exception Error.Sql_error _ -> true)
+
 (** True when the rederive recompute can be narrowed by an index instead of
     scanning the base (single-table views whose group keys are a plain
     indexed column). *)
 let rederive_indexed (catalog : Catalog.t) (shape : Shape.t) : bool =
   match shape.Shape.source, Shape.group_cols shape with
   | Shape.Single base, [ (Openivm_sql.Ast.Column (_, name), _) ] ->
-    let tbl = Catalog.find_table catalog base.Shape.table in
-    (match Schema.find_opt tbl.Table.schema ~qualifier:None ~name with
-     | Some (i, _) ->
-       (Array.length tbl.Table.primary_key = 1 && tbl.Table.primary_key.(0) = i)
-       || List.exists
-         (fun ix -> ix.Table.key_positions = [| i |])
-         tbl.Table.secondary
-     | None -> false
-     | exception Error.Sql_error _ -> false)
+    Catalog.table_exists catalog base.Shape.table
+    && (match
+          Schema.find_opt
+            (Catalog.find_table catalog base.Shape.table).Table.schema
+            ~qualifier:None ~name
+        with
+        | Some _ -> column_indexed catalog ~table:base.Shape.table ~column:name
+        | None -> false
+        | exception Error.Sql_error _ -> false)
   | _ -> false
 
 let advise (catalog : Catalog.t) (shape : Shape.t) ~(expected_delta : int) :

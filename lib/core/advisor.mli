@@ -22,6 +22,11 @@ type advice = {
 val expected_touched : delta:int -> groups:int -> float
 (** Balls-into-bins expectation of distinct groups a delta touches. *)
 
+val column_indexed : Catalog.t -> table:string -> column:string -> bool
+(** Whether the primary key or a single-column secondary index covers the
+    column (point lookups avoid a scan). Unknown tables/columns count as
+    covered — they are reported by the binder, not here. *)
+
 val advise : Catalog.t -> Shape.t -> expected_delta:int -> advice
 
 val compile_advised :

@@ -33,6 +33,15 @@ type t = {
 
 exception Unsupported_view of string
 
+(** The rejection as a coded diagnostic: "IVM007: joins of more than ...".
+    [Sema.lint_view] reports the same codes with spans; the exception path
+    keeps the string payload for existing callers. *)
+let unsupported (d : Openivm_sql.Diagnostic.t) =
+  raise
+    (Unsupported_view
+       (Printf.sprintf "%s: %s" d.Openivm_sql.Diagnostic.code
+          d.Openivm_sql.Diagnostic.message))
+
 let delta_table t base =
   Ddl_gen.delta_table_name t.flags ~view:t.shape.Shape.view_name base
 let delta_view t = Ddl_gen.delta_view_name t.flags t.shape.Shape.view_name
@@ -91,9 +100,9 @@ let full_sql t : string =
 let compile_select ?(flags = Flags.default) (catalog : Catalog.t)
     ~(view_name : string) (query : Ast.select) : t =
   let shape =
-    match Shape.analyze catalog ~view_name query with
+    match Shape.analyze_diag catalog ~view_name query with
     | Ok shape -> shape
-    | Error reason -> raise (Unsupported_view reason)
+    | Error d -> unsupported d
   in
   (* plan through the engine (parser/planner/optimizer reuse, Figure 1) *)
   let logical_plan =
@@ -123,8 +132,8 @@ let compile ?flags (catalog : Catalog.t) (sql : string) : t =
   | Ast.Create_view { view; materialized = true; query } ->
     compile_select ?flags catalog ~view_name:view query
   | Ast.Create_view { materialized = false; _ } ->
-    raise (Unsupported_view "expected CREATE MATERIALIZED VIEW (got plain VIEW)")
-  | _ -> raise (Unsupported_view "expected a CREATE MATERIALIZED VIEW statement")
+    unsupported (Openivm_sql.Diagnostic.not_materialized ())
+  | _ -> unsupported (Openivm_sql.Diagnostic.not_a_view ())
 
 (** The equivalent executable DBSP circuit (test oracle / research hook). *)
 let circuit (catalog : Catalog.t) t : Openivm_dbsp.Circuit.t =

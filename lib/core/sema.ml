@@ -1,0 +1,472 @@
+(** Semantic analysis: binder, typechecker and IVM lint.
+
+    Unlike the engine's planner — which raises on the first problem — this
+    pass accumulates every diagnostic it can find in one run: unknown and
+    ambiguous column references, unknown functions and bad arities,
+    misplaced or nested aggregates, type errors (SUM over VARCHAR,
+    arithmetic on text), duplicate output columns, and the IVM-specific
+    rules (everything {!Shape.analyze_diag} rejects, plus advisory
+    warnings about MIN/MAX-under-delete, AVG decomposition and unindexed
+    key columns).
+
+    Binding resolves names against a {!Catalog.t}; CTEs and derived tables
+    get synthetic scopes. A FROM item that fails to resolve marks its
+    binding as broken, which suppresses the cascade of unknown-column
+    errors that would otherwise follow from one typo in a table name. *)
+
+module Ast = Openivm_sql.Ast
+module Analysis = Openivm_sql.Analysis
+module D = Openivm_sql.Diagnostic
+module Parser = Openivm_sql.Parser
+module Funcs = Openivm_sql.Funcs
+open Openivm_engine
+
+type ctx = {
+  catalog : Catalog.t;
+  spans : Parser.spans;
+  mutable diags : D.t list;  (* newest first *)
+}
+
+let emit ctx d = ctx.diags <- d :: ctx.diags
+
+let espan ctx e = Parser.expr_span ctx.spans e
+let fspan ctx f = Parser.from_span ctx.spans f
+
+(** Everything visible to an expression: the combined column schema, the
+    binding names in scope, and which of those failed to resolve. [env]
+    carries the CTE definitions for subqueries. *)
+type scope = {
+  schema : Schema.t;
+  bindings : string list;
+  broken : string list;
+  env : (string * Schema.t) list;
+}
+
+let empty_scope env = { schema = []; bindings = []; broken = []; env }
+
+(** [Expr.infer_type] raises on ambiguous references; the binder reports
+    those itself and must keep going. *)
+let infer_safe schema e =
+  try Expr.infer_type schema e with Error.Sql_error _ -> Ast.T_int
+
+let binop_symbol = function
+  | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/"
+  | Ast.Mod -> "%" | Ast.Eq -> "=" | Ast.Neq -> "<>" | Ast.Lt -> "<"
+  | Ast.Le -> "<=" | Ast.Gt -> ">" | Ast.Ge -> ">=" | Ast.And -> "AND"
+  | Ast.Or -> "OR" | Ast.Concat -> "||"
+
+(* --- binding --- *)
+
+let check_column ctx scope ?span qualifier name =
+  if name = "*" then ()
+  else
+    match qualifier with
+    | Some q when not (List.mem q scope.bindings) ->
+      emit ctx
+        (D.unknown_qualifier ?span ?suggestion:(D.suggest q scope.bindings) q)
+    | Some q when List.mem q scope.broken ->
+      () (* the binding itself was already reported *)
+    | None when scope.broken <> [] ->
+      () (* any unqualified miss could live in the broken binding *)
+    | _ ->
+      (match Schema.find_opt scope.schema ~qualifier ~name with
+       | Some _ -> ()
+       | None ->
+         let shown =
+           match qualifier with Some q -> q ^ "." ^ name | None -> name
+         in
+         emit ctx
+           (D.unknown_column ?span
+              ?suggestion:(D.suggest name (Schema.names scope.schema))
+              shown)
+       | exception Error.Sql_error _ ->
+         let owners =
+           List.filter_map
+             (fun (c : Schema.column) ->
+                if String.equal c.Schema.name name then c.Schema.table else None)
+             scope.schema
+         in
+         emit ctx (D.ambiguous_column ?span name owners))
+
+(** [agg] says whether aggregate calls are legal here; the payload names
+    the clause for the SEM008 message. [in_agg] is true inside an
+    aggregate's argument (SEM007). *)
+let rec check_expr ctx scope ~agg ~in_agg (e : Ast.expr) : unit =
+  let recurse = check_expr ctx scope ~agg ~in_agg in
+  match e with
+  | Ast.Lit _ | Ast.Star -> ()
+  | Ast.Column (q, name) -> check_column ctx scope ?span:(espan ctx e) q name
+  | Ast.Unary (_, a) -> recurse a
+  | Ast.Binary (op, a, b) ->
+    recurse a;
+    recurse b;
+    (match op with
+     | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+       List.iter
+         (fun operand ->
+            match infer_safe scope.schema operand with
+            | Ast.T_text | Ast.T_bool ->
+              let span =
+                match espan ctx operand with
+                | Some s -> Some s
+                | None -> espan ctx e
+              in
+              emit ctx
+                (D.arithmetic_type ?span (binop_symbol op)
+                   (Ast.typ_to_string (infer_safe scope.schema operand)))
+            | _ -> ())
+         [ a; b ]
+     | _ -> ())
+  | Ast.Func (name, args) ->
+    (if Funcs.is_nondeterministic name then
+       emit ctx (D.nondeterministic_function ?span:(espan ctx e) name)
+     else
+       match Funcs.lookup name with
+       | None ->
+         emit ctx
+           (D.unknown_function ?span:(espan ctx e)
+              ?suggestion:(D.suggest name (Funcs.names ()))
+              name (List.length args))
+       | Some spec ->
+         if not (Funcs.arity_ok spec (List.length args)) then
+           emit ctx
+             (D.wrong_arity ?span:(espan ctx e) name
+                ~expected:(Funcs.arity_to_string spec)
+                ~got:(List.length args)));
+    List.iter recurse args
+  | Ast.Aggregate (kind, _distinct, arg) ->
+    if in_agg then emit ctx (D.nested_aggregate ?span:(espan ctx e) ())
+    else begin
+      (match agg with
+       | `Allowed -> ()
+       | `Forbidden clause ->
+         emit ctx (D.aggregate_not_allowed ?span:(espan ctx e) clause));
+      (match kind, arg with
+       | (Ast.Sum | Ast.Avg), Some a ->
+         (match infer_safe scope.schema a with
+          | (Ast.T_text | Ast.T_bool | Ast.T_date) as t ->
+            let span =
+              match espan ctx a with Some s -> Some s | None -> espan ctx e
+            in
+            emit ctx
+              (D.aggregate_type ?span (Ast.agg_name kind) (Ast.typ_to_string t))
+          | Ast.T_int | Ast.T_float -> ())
+       | _ -> ())
+    end;
+    Option.iter (check_expr ctx scope ~agg ~in_agg:true) arg
+  | Ast.Case (branches, default) ->
+    List.iter
+      (fun (c, v) ->
+         recurse c;
+         recurse v)
+      branches;
+    Option.iter recurse default
+  | Ast.Cast (a, _) -> recurse a
+  | Ast.In_list (a, es, _) -> List.iter recurse (a :: es)
+  | Ast.In_select (a, sub, _) ->
+    recurse a;
+    ignore (bind_select_inner ctx scope.env sub)
+  | Ast.Between (a, lo, hi, _) -> List.iter recurse [ a; lo; hi ]
+  | Ast.Is_null (a, _) -> recurse a
+  | Ast.Like (a, b, _) ->
+    recurse a;
+    recurse b
+
+(** SEM013: a WHERE/HAVING/ON condition whose type is not BOOLEAN. Only
+    checked when every column in the condition resolves, so one typo does
+    not also produce a bogus type warning. *)
+and check_boolean ctx scope ~clause (e : Ast.expr) : unit =
+  if Expr.resolves scope.schema e then
+    match infer_safe scope.schema e with
+    | Ast.T_bool -> ()
+    | t ->
+      emit ctx
+        (D.non_boolean_predicate ?span:(espan ctx e) clause
+           (Ast.typ_to_string t))
+
+(** Output schema of a bound select, for CTE / derived-table / view
+    scopes. Columns are unqualified; the caller requalifies with the
+    binding name. *)
+and output_schema (scope : scope) (s : Ast.select) : Schema.t =
+  List.concat
+    (List.mapi
+       (fun i (e, alias) ->
+          match e with
+          | Ast.Star | Ast.Column (None, "*") ->
+            List.map (fun c -> { c with Schema.table = None }) scope.schema
+          | Ast.Column (Some q, "*") ->
+            List.filter_map
+              (fun (c : Schema.column) ->
+                 if c.Schema.table = Some q then
+                   Some { c with Schema.table = None }
+                 else None)
+              scope.schema
+          | _ ->
+            [ Schema.column
+                (Analysis.projection_name i (e, alias))
+                (infer_safe scope.schema e) ])
+       s.Ast.projections)
+
+(** Schema of a catalog (non-materialized) view, bound silently: the view
+    was checked when it was created; here it only provides columns. *)
+and view_schema ctx (vd : Catalog.view_def) : Schema.t =
+  let silent = { catalog = ctx.catalog; spans = Parser.no_spans; diags = [] } in
+  bind_select_inner silent [] vd.Catalog.query
+
+and resolve_from ctx env (f : Ast.from_clause) : scope =
+  match f with
+  | Ast.Table_ref (name, alias) ->
+    let binding = Option.value alias ~default:name in
+    let resolved =
+      match List.assoc_opt name env with
+      | Some schema -> Some schema
+      | None ->
+        (match Catalog.find_table_opt ctx.catalog name with
+         | Some tbl -> Some tbl.Table.schema
+         | None ->
+           Option.map (view_schema ctx) (Catalog.find_view_opt ctx.catalog name))
+    in
+    (match resolved with
+     | Some schema ->
+       { schema = Schema.requalify schema binding;
+         bindings = [ binding ]; broken = []; env }
+     | None ->
+       let candidates =
+         List.map fst env @ Catalog.table_names ctx.catalog
+       in
+       emit ctx
+         (D.unknown_table ?span:(fspan ctx f)
+            ?suggestion:(D.suggest name candidates) name);
+       { schema = []; bindings = [ binding ]; broken = [ binding ]; env })
+  | Ast.Subquery (sel, alias) ->
+    let out = bind_select_inner ctx env sel in
+    { schema = Schema.requalify out alias;
+      bindings = [ alias ]; broken = []; env }
+  | Ast.Join (l, _, r, cond) ->
+    let sl = resolve_from ctx env l in
+    let sr = resolve_from ctx env r in
+    let scope =
+      { schema = sl.schema @ sr.schema;
+        bindings = sl.bindings @ sr.bindings;
+        broken = sl.broken @ sr.broken;
+        env }
+    in
+    Option.iter
+      (fun c ->
+         check_expr ctx scope ~agg:(`Forbidden "JOIN ON") ~in_agg:false c;
+         check_boolean ctx scope ~clause:"JOIN ON" c)
+      cond;
+    scope
+
+(** Bind one select and return its output schema. All diagnostics go to
+    [ctx]. *)
+and bind_select_inner ctx env (s : Ast.select) : Schema.t =
+  (* CTEs extend the environment left to right *)
+  let env =
+    List.fold_left
+      (fun env (name, query) ->
+         let out = bind_select_inner ctx env query in
+         (name, out) :: env)
+      env s.Ast.ctes
+  in
+  let scope =
+    match s.Ast.from with
+    | Some f -> resolve_from ctx env f
+    | None -> empty_scope env
+  in
+  Option.iter
+    (fun e ->
+       check_expr ctx scope ~agg:(`Forbidden "WHERE") ~in_agg:false e;
+       check_boolean ctx scope ~clause:"WHERE" e)
+    s.Ast.where;
+  List.iter
+    (check_expr ctx scope ~agg:(`Forbidden "GROUP BY") ~in_agg:false)
+    s.Ast.group_by;
+  List.iter
+    (fun (e, _) -> check_expr ctx scope ~agg:`Allowed ~in_agg:false e)
+    s.Ast.projections;
+  Option.iter
+    (fun e ->
+       check_expr ctx scope ~agg:`Allowed ~in_agg:false e;
+       check_boolean ctx scope ~clause:"HAVING" e)
+    s.Ast.having;
+  (* ORDER BY also sees the select's output aliases *)
+  let order_scope =
+    { scope with schema = scope.schema @ output_schema scope s }
+  in
+  List.iter
+    (fun (o : Ast.order_item) ->
+       check_expr ctx order_scope ~agg:`Allowed ~in_agg:false o.Ast.order_expr)
+    s.Ast.order_by;
+  (* duplicate output names, SEM011 — pointed at the second occurrence *)
+  (match Analysis.duplicate_name (Analysis.output_names s) with
+   | Some name ->
+     let named =
+       List.mapi (fun i p -> (Analysis.projection_name i p, fst p))
+         s.Ast.projections
+     in
+     let span =
+       match List.filter (fun (n, _) -> String.equal n name) named with
+       | _ :: (_, e) :: _ -> espan ctx e
+       | [ (_, e) ] -> espan ctx e
+       | [] -> None
+     in
+     emit ctx (D.duplicate_column ?span name)
+   | None -> ());
+  (match s.Ast.set_operation with
+   | Some (_, rhs) -> ignore (bind_select_inner ctx env rhs)
+   | None -> ());
+  output_schema scope s
+
+(* --- public entry points --- *)
+
+let bind_select (catalog : Catalog.t) ?(spans = Parser.no_spans)
+    (s : Ast.select) : D.t list =
+  let ctx = { catalog; spans; diags = [] } in
+  ignore (bind_select_inner ctx [] s);
+  D.sort (List.rev ctx.diags)
+
+(* --- IVM lint --- *)
+
+(** Column behind a group key, resolved to its base table. *)
+let key_base_column (shape : Shape.t) (e : Ast.expr) :
+  (string * string) option =
+  match e with
+  | Ast.Column (qualifier, name) ->
+    List.find_map
+      (fun (b : Shape.table_ref) ->
+         match Schema.find_opt b.Shape.schema ~qualifier ~name with
+         | Some _ -> Some (b.Shape.table, name)
+         | None | (exception Error.Sql_error _) -> None)
+      (Shape.base_tables shape)
+  | _ -> None
+
+(** Advisory diagnostics (IVM1xx) over an accepted shape. *)
+let shape_warnings ctx (shape : Shape.t) : unit =
+  (* IVM101 / IVM102: per aggregate projection *)
+  List.iter
+    (fun (e, _) ->
+       match e with
+       | Ast.Aggregate ((Ast.Min | Ast.Max) as kind, _, _) ->
+         emit ctx
+           (D.min_max_recompute ?span:(espan ctx e) (Ast.agg_name kind))
+       | Ast.Aggregate (Ast.Avg, _, _) ->
+         emit ctx (D.avg_decomposition ?span:(espan ctx e) ())
+       | _ -> ())
+    shape.Shape.query.Ast.projections;
+  (* IVM103: group keys and join keys without an index. Flat views call
+     every projection a group column, so only aggregate views check them. *)
+  let keys =
+    if not (Shape.has_aggregates shape) then []
+    else
+      List.filter_map (fun (e, _) -> Option.map (fun k -> (e, k))
+                          (key_base_column shape e))
+        (Shape.group_cols shape)
+  in
+  let join_keys =
+    match shape.Shape.source with
+    | Shape.Single _ -> []
+    | Shape.Joined { condition; _ } ->
+      let rec conjuncts acc = function
+        | Ast.Binary (Ast.And, a, b) -> conjuncts (conjuncts acc a) b
+        | e -> e :: acc
+      in
+      (match condition with
+       | None -> []
+       | Some c ->
+         List.concat_map
+           (function
+             | Ast.Binary (Ast.Eq, a, b) ->
+               List.filter_map
+                 (fun e -> Option.map (fun k -> (e, k)) (key_base_column shape e))
+                 [ a; b ]
+             | _ -> [])
+           (conjuncts [] c))
+  in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (e, (table, column)) ->
+       if not (Hashtbl.mem seen (table, column)) then begin
+         Hashtbl.add seen (table, column) ();
+         if not (Advisor.column_indexed ctx.catalog ~table ~column) then
+           emit ctx (D.unindexed_key ?span:(espan ctx e) ~table ~column ())
+       end)
+    (keys @ join_keys)
+
+let dedup (ds : D.t list) : D.t list =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (d : D.t) ->
+       let key = (d.D.code, d.D.span, d.D.message) in
+       if Hashtbl.mem seen key then false
+       else begin
+         Hashtbl.add seen key ();
+         true
+       end)
+    ds
+
+let lint_view (catalog : Catalog.t) ?(spans = Parser.no_spans)
+    ~(view_name : string) (query : Ast.select) : D.t list =
+  let ctx = { catalog; spans; diags = [] } in
+  ignore (bind_select_inner ctx [] query);
+  (* Shape analysis needs every base table to exist; with a broken FROM
+     the binder diagnostics already tell the story. *)
+  (match Shape.analyze_diag catalog ~spans ~view_name query with
+   | Ok shape -> shape_warnings ctx shape
+   | Error d -> emit ctx d
+   | exception Error.Sql_error _ -> ());
+  D.sort (dedup (List.rev ctx.diags))
+
+(* --- whole-script checking --- *)
+
+(** Check a [;]-separated script: DDL and DML statements build up the
+    scratch database, CREATE MATERIALIZED VIEW definitions get the full
+    binder + IVM lint, plain views and SELECTs get the binder only.
+    Parse errors come back as SEM000 instead of an exception, so a script
+    always produces a diagnostic list. *)
+let check_script (db : Database.t) (sql : string) : D.t list =
+  let catalog = Database.catalog db in
+  match Parser.parse_script_positioned sql with
+  | exception Openivm_sql.Parser.Error (msg, pos) ->
+    [ D.parse_error ~span:(D.span ~start_pos:pos ~stop_pos:(pos + 1)) msg ]
+  | exception Openivm_sql.Lexer.Error (msg, pos) ->
+    [ D.parse_error ~span:(D.span ~start_pos:pos ~stop_pos:(pos + 1)) msg ]
+  | stmts, spans ->
+    let ctx = { catalog; spans; diags = [] } in
+    let exec_quietly stmt =
+      (* grow the scratch catalog so later statements resolve; execution
+         errors (duplicate table, bad INSERT) surface as diagnostics *)
+      try ignore (Database.exec_stmt db stmt)
+      with Error.Sql_error msg ->
+        emit ctx
+          (D.parse_error ?span:(Parser.statement_span spans stmt) msg)
+    in
+    let register_view view query =
+      try
+        Catalog.add_view catalog
+          { Catalog.view_name = view; query;
+            sql =
+              Openivm_sql.Pretty.select_to_sql Openivm_sql.Dialect.minidb
+                query }
+      with Error.Sql_error _ -> ()
+    in
+    let rec check_stmt (stmt : Ast.stmt) =
+      match stmt with
+      | Ast.Select_stmt s -> ignore (bind_select_inner ctx [] s)
+      | Ast.Create_view { view; materialized; query } ->
+        let ds =
+          if materialized then lint_view catalog ~spans ~view_name:view query
+          else bind_select catalog ~spans query
+        in
+        List.iter (emit ctx) ds;
+        (* register the view (not via Database, which would re-plan or
+           reject MATERIALIZED) so later statements can read it *)
+        if not (D.has_errors ds) then register_view view query
+      | Ast.Explain inner -> check_stmt inner
+      | Ast.Create_table _ | Ast.Create_index _ | Ast.Insert _ | Ast.Update _
+      | Ast.Delete _ | Ast.Drop _ | Ast.Truncate _ | Ast.Begin_txn
+      | Ast.Commit_txn | Ast.Rollback_txn ->
+        exec_quietly stmt
+    in
+    List.iter check_stmt stmts;
+    D.sort (dedup (List.rev ctx.diags))

@@ -1,0 +1,37 @@
+(** Semantic analysis: binder, typechecker and IVM lint.
+
+    Every entry point accumulates {e all} diagnostics it can find in one
+    run (the engine's planner stops at the first problem; this pass is for
+    tooling and the [openivm check] subcommand). Pass the parser's
+    {!Openivm_sql.Parser.spans} so diagnostics carry source positions. *)
+
+module Ast = Openivm_sql.Ast
+module D = Openivm_sql.Diagnostic
+open Openivm_engine
+
+val bind_select :
+  Catalog.t -> ?spans:Openivm_sql.Parser.spans -> Ast.select -> D.t list
+(** Resolve and typecheck one SELECT against the catalog: unknown /
+    ambiguous columns, unknown tables and qualifiers, unknown functions
+    and arities, non-deterministic functions, misplaced and nested
+    aggregates, SUM/AVG over non-numeric columns, arithmetic over
+    text/boolean, non-boolean predicates, duplicate output columns.
+    CTEs, derived tables and uncorrelated IN subqueries get their own
+    scopes. Sorted by source position. *)
+
+val lint_view :
+  Catalog.t ->
+  ?spans:Openivm_sql.Parser.spans ->
+  view_name:string ->
+  Ast.select ->
+  D.t list
+(** {!bind_select} plus the IVM rules: every {!Shape.analyze_diag}
+    rejection (IVM0xx) and the advisory IVM1xx warnings (MIN/MAX
+    recompute-on-delete, AVG decomposition, unindexed key columns). *)
+
+val check_script : Database.t -> string -> D.t list
+(** Check a [;]-separated script. CREATE TABLE / INDEX / DML statements
+    execute against [db] so later statements resolve; CREATE MATERIALIZED
+    VIEW gets {!lint_view}; plain views and SELECTs get {!bind_select}.
+    Parse and execution failures become SEM000 diagnostics instead of
+    exceptions. *)

@@ -4,10 +4,14 @@
     (single-table projection / filter / grouped aggregation, and their
     two-table-join counterparts — the paper's scope plus its announced
     MIN/MAX and JOIN extensions) and lowers it into the shape the DDL and
-    propagation generators consume. *)
+    propagation generators consume. Every rejection is a coded
+    {!Openivm_sql.Diagnostic.t}; when the caller passes the parser's
+    [spans], the diagnostic points at the offending SQL. *)
 
 module Ast = Openivm_sql.Ast
 module Analysis = Openivm_sql.Analysis
+module Diagnostic = Openivm_sql.Diagnostic
+module Parser = Openivm_sql.Parser
 open Openivm_engine
 
 type aggregate_item = {
@@ -50,6 +54,10 @@ let stage_table shape = "__ivm_stage_" ^ shape.view_name
 let null_marker = "\x01<null>"
 let key_separator = "\x1f"
 
+(* the DBSP inclusion–exclusion rewrite emits 2^N - 1 fill terms; cap N
+   so a typo cannot explode the script *)
+let max_join_tables = Analysis.max_join_tables
+
 let group_cols shape =
   List.filter_map
     (function
@@ -90,13 +98,26 @@ let table_ref_of catalog name alias : table_ref =
     binding = Option.value alias ~default:name;
     schema = Schema.requalify tbl.Table.schema (Option.value alias ~default:name) }
 
-(* the DBSP inclusion–exclusion rewrite emits 2^N - 1 fill terms; cap N
-   so a typo cannot explode the script *)
-let max_join_tables = 4
+(** First derived table under a FROM clause, for span attachment. *)
+let rec find_derived = function
+  | Ast.Table_ref _ -> None
+  | Ast.Subquery _ as f -> Some f
+  | Ast.Join (l, _, r, _) ->
+    (match find_derived l with Some f -> Some f | None -> find_derived r)
 
-let source_of catalog (f : Ast.from_clause) : (source, string) result =
+(** First outer join's right-hand item, for span attachment. *)
+let rec find_outer = function
+  | Ast.Table_ref _ | Ast.Subquery _ -> None
+  | Ast.Join (l, (Ast.Left_outer | Ast.Right_outer | Ast.Full_outer), r, _) ->
+    (match find_outer l with Some f -> Some f | None -> Some r)
+  | Ast.Join (l, _, r, _) ->
+    (match find_outer l with Some f -> Some f | None -> find_outer r)
+
+let source_of catalog ~spans (f : Ast.from_clause) :
+  (source, Diagnostic.t) result =
+  let fspan node = Parser.from_span spans node in
   (* flatten a tree of inner/cross joins over base tables *)
-  let rec flatten f : (table_ref list * Ast.expr list, string) result =
+  let rec flatten f : (table_ref list * Ast.expr list, Diagnostic.t) result =
     match f with
     | Ast.Table_ref (name, alias) ->
       Ok ([ table_ref_of catalog name alias ], [])
@@ -105,17 +126,18 @@ let source_of catalog (f : Ast.from_clause) : (source, string) result =
           Result.bind (flatten r) (fun (rt, rc) ->
               Ok (lt @ rt, lc @ rc @ Option.to_list cond)))
     | Ast.Join (_, (Ast.Left_outer | Ast.Right_outer | Ast.Full_outer), _, _) ->
-      Error "outer joins are not supported for IVM"
-    | Ast.Subquery _ -> Error "derived tables are not supported for IVM"
+      Error
+        (Diagnostic.outer_join_unsupported
+           ?span:(Option.bind (find_outer f) fspan) ())
+    | Ast.Subquery _ ->
+      Error (Diagnostic.derived_table_unsupported ?span:(fspan f) ())
   in
   match f with
   | Ast.Table_ref (name, alias) -> Ok (Single (table_ref_of catalog name alias))
   | _ ->
     Result.bind (flatten f) (fun (tables, conditions) ->
         if List.length tables > max_join_tables then
-          Error
-            (Printf.sprintf "joins of more than %d tables are not supported"
-               max_join_tables)
+          Error (Diagnostic.too_many_tables ~max:max_join_tables ())
         else begin
           let condition =
             match conditions with
@@ -142,22 +164,58 @@ let state_columns_for ~visible_name (agg : Ast.agg) =
     (Some ("__ivm_sum_" ^ visible_name), Some ("__ivm_nn_" ^ visible_name))
   | Ast.Count | Ast.Min | Ast.Max -> (None, None)
 
-let analyze (catalog : Catalog.t) ~(view_name : string) (query : Ast.select) :
-  (t, string) result =
+(** Map a classification rejection to its coded diagnostic, attaching the
+    best span available. *)
+let rejection_diag ~spans (query : Ast.select) (r : Analysis.rejection) :
+  Diagnostic.t =
+  let qspan = Parser.select_span spans query in
+  match r with
+  | Analysis.Cte -> Diagnostic.cte_unsupported ?span:qspan ()
+  | Analysis.Set_operation ->
+    let span =
+      match query.Ast.set_operation with
+      | Some (_, rhs) -> Parser.select_span spans rhs
+      | None -> qspan
+    in
+    Diagnostic.set_op_unsupported ?span ()
+  | Analysis.Distinct -> Diagnostic.distinct_unsupported ?span:qspan ()
+  | Analysis.Limit_offset -> Diagnostic.limit_unsupported ?span:qspan ()
+  | Analysis.No_from -> Diagnostic.no_from_clause ?span:qspan ()
+  | Analysis.Derived_table ->
+    let span =
+      match query.Ast.from with
+      | Some f -> Option.bind (find_derived f) (Parser.from_span spans)
+      | None -> qspan
+    in
+    Diagnostic.derived_table_unsupported ?span ()
+  | Analysis.Too_many_tables _ ->
+    Diagnostic.too_many_tables ?span:qspan ~max:max_join_tables ()
+
+let analyze_diag (catalog : Catalog.t) ?(spans = Parser.no_spans)
+    ~(view_name : string) (query : Ast.select) : (t, Diagnostic.t) result =
   let ( let* ) = Result.bind in
+  let espan e = Parser.expr_span spans e in
   let klass = Analysis.classify query in
   let* () =
     match klass with
-    | Analysis.Unsupported reason -> Error reason
-    | _ when query.Ast.order_by <> [] -> Error "ORDER BY in view definition"
+    | Analysis.Unsupported reason -> Error (rejection_diag ~spans query reason)
+    | _ when query.Ast.order_by <> [] ->
+      let span =
+        match query.Ast.order_by with
+        | { Ast.order_expr; _ } :: _ -> espan order_expr
+        | [] -> None
+      in
+      Error (Diagnostic.order_by_unsupported ?span ())
     | _ when query.Ast.having <> None ->
-      Error "HAVING is not supported for IVM views"
+      Error
+        (Diagnostic.having_unsupported
+           ?span:(Option.bind query.Ast.having espan) ())
     | _ -> Ok ()
   in
   let* source =
     match query.Ast.from with
-    | Some f -> source_of catalog f
-    | None -> Error "view without FROM clause"
+    | Some f -> source_of catalog ~spans f
+    | None -> Error (Diagnostic.no_from_clause ())
   in
   let schema = input_schema source in
   let infer e = Expr.infer_type schema e in
@@ -169,10 +227,14 @@ let analyze (catalog : Catalog.t) ~(view_name : string) (query : Ast.select) :
       query.Ast.projections
   in
   let* () =
-    if List.exists (fun (e, _) -> e = Ast.Star || e = Ast.Column (None, "*")) named
-       && aggregated
-    then Error "star projections cannot be mixed with aggregates"
-    else Ok ()
+    match
+      List.find_opt
+        (fun (e, _) -> e = Ast.Star || e = Ast.Column (None, "*"))
+        named
+    with
+    | Some (star, _) when aggregated ->
+      Error (Diagnostic.star_with_aggregates ?span:(espan star) ())
+    | _ -> Ok ()
   in
   (* expand stars for flat views *)
   let named =
@@ -209,7 +271,8 @@ let analyze (catalog : Catalog.t) ~(view_name : string) (query : Ast.select) :
         | (e, name) :: rest ->
           (match e with
            | Ast.Aggregate (agg, distinct, arg) ->
-             if distinct then Error "DISTINCT aggregates are not supported"
+             if distinct then
+               Error (Diagnostic.distinct_aggregate ?span:(espan e) ())
              else begin
                let sum_state, nn_state = state_columns_for ~visible_name:name agg in
                let item =
@@ -222,9 +285,7 @@ let analyze (catalog : Catalog.t) ~(view_name : string) (query : Ast.select) :
              build (Group_col { expr = e; name; typ = infer e } :: acc) rest
            | _ ->
              Error
-               (Printf.sprintf
-                  "projection %s is neither a GROUP BY expression nor a bare \
-                   aggregate"
+               (Diagnostic.projection_not_group ?span:(espan e)
                   (Openivm_sql.Pretty.expr_to_sql Openivm_sql.Dialect.duckdb e)))
       in
       let* cols = build [] named in
@@ -236,9 +297,13 @@ let analyze (catalog : Catalog.t) ~(view_name : string) (query : Ast.select) :
           cols
       in
       let* () =
-        if List.for_all (fun g -> List.mem g projected_groups) query.Ast.group_by
-        then Ok ()
-        else Error "every GROUP BY expression must appear in the select list"
+        match
+          List.find_opt
+            (fun g -> not (List.mem g projected_groups))
+            query.Ast.group_by
+        with
+        | Some g -> Error (Diagnostic.group_not_projected ?span:(espan g) ())
+        | None -> Ok ()
       in
       Ok cols
     end
@@ -246,13 +311,24 @@ let analyze (catalog : Catalog.t) ~(view_name : string) (query : Ast.select) :
   (* reject duplicate output names (the view table could not be created) *)
   let names = List.map (function Group_col g -> g.name | Agg_col a -> a.visible_name) columns in
   let* () =
-    let sorted = List.sort String.compare names in
-    let rec dup = function
-      | a :: (b :: _ as rest) -> if String.equal a b then Some a else dup rest
-      | _ -> None
-    in
-    match dup sorted with
-    | Some name -> Error (Printf.sprintf "duplicate output column %S" name)
+    match Analysis.duplicate_name names with
+    | Some name ->
+      (* point at the second projection producing the name *)
+      let span =
+        match
+          List.filter (fun (_, n) -> String.equal n name) named
+        with
+        | _ :: (e, _) :: _ -> espan e
+        | [ (e, _) ] -> espan e
+        | [] -> None
+      in
+      Error (Diagnostic.duplicate_column ?span name)
     | None -> Ok ()
   in
   Ok { view_name; query; klass; columns; source; where = query.Ast.where }
+
+let analyze (catalog : Catalog.t) ~(view_name : string) (query : Ast.select) :
+  (t, string) result =
+  Result.map_error
+    (fun (d : Diagnostic.t) -> d.Diagnostic.message)
+    (analyze_diag catalog ~view_name query)

@@ -58,4 +58,14 @@ val visible_names : t -> string list
 val base_tables : t -> table_ref list
 val input_schema : source -> Schema.t
 
+val analyze_diag :
+  Catalog.t ->
+  ?spans:Openivm_sql.Parser.spans ->
+  view_name:string ->
+  Ast.select ->
+  (t, Openivm_sql.Diagnostic.t) result
+(** Validate and lower a view query. Rejections are coded diagnostics;
+    pass the parser's [spans] so they carry source positions. *)
+
 val analyze : Catalog.t -> view_name:string -> Ast.select -> (t, string) result
+(** [analyze_diag] with the diagnostic collapsed to its message. *)

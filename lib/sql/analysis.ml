@@ -2,6 +2,17 @@
     reference collection. Used by the IVM rewriter to decide which
     propagation template applies. *)
 
+(** Why a view definition falls outside the supported IVM classes. Each
+    constructor maps to one stable diagnostic code (see {!Diagnostic}). *)
+type rejection =
+  | Cte
+  | Set_operation
+  | Distinct
+  | Limit_offset
+  | No_from
+  | Derived_table
+  | Too_many_tables of int  (** actual base-table count *)
+
 (** Query shape classification, mirroring the paper's supported classes. *)
 type query_class =
   | Projection        (** SELECT cols FROM t [WHERE ...] — no aggregation *)
@@ -9,7 +20,19 @@ type query_class =
   | Group_aggregate   (** GROUP BY + aggregates (or global aggregates) *)
   | Join_flat         (** two-table join, no aggregation *)
   | Join_aggregate    (** two-table join under GROUP BY + aggregates *)
-  | Unsupported of string
+  | Unsupported of rejection
+
+let max_join_tables = 4
+
+let rejection_to_string = function
+  | Cte -> "CTE in view definition"
+  | Set_operation -> "set operation in view definition"
+  | Distinct -> "DISTINCT in view definition"
+  | Limit_offset -> "LIMIT in view definition"
+  | No_from -> "view without FROM clause"
+  | Derived_table -> "derived table in view definition"
+  | Too_many_tables _ ->
+    Printf.sprintf "more than %d base tables" max_join_tables
 
 let class_to_string = function
   | Projection -> "projection"
@@ -17,32 +40,37 @@ let class_to_string = function
   | Group_aggregate -> "group_aggregate"
   | Join_flat -> "join"
   | Join_aggregate -> "join_aggregate"
-  | Unsupported reason -> "unsupported: " ^ reason
+  | Unsupported reason -> "unsupported: " ^ rejection_to_string reason
 
+(** Number of base tables under a FROM clause; [None] when it contains a
+    derived table (out of scope for IVM). *)
 let rec count_base_tables = function
-  | Ast.Table_ref _ -> 1
-  | Ast.Subquery _ -> -1000 (* derived tables are out of scope for IVM *)
-  | Ast.Join (l, _, r, _) -> count_base_tables l + count_base_tables r
+  | Ast.Table_ref _ -> Some 1
+  | Ast.Subquery _ -> None
+  | Ast.Join (l, _, r, _) ->
+    (match count_base_tables l, count_base_tables r with
+     | Some a, Some b -> Some (a + b)
+     | _ -> None)
 
 let classify (s : Ast.select) : query_class =
-  if s.ctes <> [] then Unsupported "CTE in view definition"
-  else if s.set_operation <> None then Unsupported "set operation in view definition"
-  else if s.distinct then Unsupported "DISTINCT in view definition"
-  else if s.limit <> None || s.offset <> None then Unsupported "LIMIT in view definition"
+  if s.ctes <> [] then Unsupported Cte
+  else if s.set_operation <> None then Unsupported Set_operation
+  else if s.distinct then Unsupported Distinct
+  else if s.limit <> None || s.offset <> None then Unsupported Limit_offset
   else
     match s.from with
-    | None -> Unsupported "view without FROM clause"
+    | None -> Unsupported No_from
     | Some f ->
-      let tables = count_base_tables f in
       let aggregated = Ast.select_has_aggregate s in
-      if tables < 0 then Unsupported "derived table in view definition"
-      else if tables = 1 then
-        if aggregated then Group_aggregate
-        else if s.where <> None then Filter
-        else Projection
-      else if tables <= 4 then
-        if aggregated then Join_aggregate else Join_flat
-      else Unsupported "more than four base tables"
+      (match count_base_tables f with
+       | None -> Unsupported Derived_table
+       | Some 1 ->
+         if aggregated then Group_aggregate
+         else if s.where <> None then Filter
+         else Projection
+       | Some tables when tables <= max_join_tables ->
+         if aggregated then Join_aggregate else Join_flat
+       | Some tables -> Unsupported (Too_many_tables tables))
 
 (** Column references of an expression, as (qualifier option, name) pairs. *)
 let rec expr_columns acc = function
@@ -89,16 +117,26 @@ let projection_name i (e, alias) =
 let output_names (s : Ast.select) =
   List.mapi projection_name s.projections
 
+(** First name that appears more than once, if any. Shared by the binder
+    (coded diagnostic with a span) and [Shape.analyze] (hard rejection). *)
+let duplicate_name (names : string list) : string option =
+  let sorted = List.sort String.compare names in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if String.equal a b then Some a else dup rest
+    | _ -> None
+  in
+  dup sorted
+
 (** True when the expression is deterministic and references no columns
-    (safe to constant-fold). *)
+    (safe to constant-fold). Function calls fold only when the function is
+    in the {!Funcs} registry — implemented by the engine and deterministic. *)
 let rec is_constant = function
   | Ast.Lit _ -> true
   | Ast.Column _ | Ast.Star | Ast.Aggregate _ -> false
   | Ast.Unary (_, e) | Ast.Cast (e, _) | Ast.Is_null (e, _) -> is_constant e
   | Ast.Binary (_, a, b) | Ast.Like (a, b, _) -> is_constant a && is_constant b
   | Ast.Func (name, args) ->
-    (* random() etc. would be non-deterministic; none are implemented. *)
-    name <> "random" && List.for_all is_constant args
+    Funcs.is_foldable name && List.for_all is_constant args
   | Ast.Case (branches, default) ->
     List.for_all (fun (c, v) -> is_constant c && is_constant v) branches
     && (match default with Some e -> is_constant e | None -> true)

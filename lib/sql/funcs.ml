@@ -1,0 +1,81 @@
+(** The scalar-function registry: the single list of function names the
+    engine implements ([Openivm_engine.Expr.scalar_function]), their arity
+    ranges, and determinism. The binder checks calls against it and the
+    constant folder ([Analysis.is_constant]) only folds functions that are
+    both implemented and deterministic — replacing the old ad-hoc
+    [name <> "random"] test, which happily "folded" unimplemented calls. *)
+
+type spec = {
+  name : string;
+  min_args : int;
+  max_args : int option;  (** [None] = variadic *)
+  deterministic : bool;
+}
+
+let v ?max name min_args =
+  { name; min_args;
+    max_args = (match max with Some m -> Some m | None -> Some min_args);
+    deterministic = true }
+
+let variadic name min_args =
+  { name; min_args; max_args = None; deterministic = true }
+
+(** Implemented scalar functions — keep in lockstep with the match arms of
+    [Expr.scalar_function]; [Test_diagnostics] cross-checks the alignment. *)
+let implemented : spec list =
+  [ variadic "coalesce" 1;
+    v "ifnull" 2;
+    v "nullif" 2;
+    v "abs" 1;
+    v "round" 1 ~max:2;
+    v "floor" 1;
+    v "ceil" 1;
+    v "ceiling" 1;
+    v "sqrt" 1;
+    v "power" 2;
+    v "pow" 2;
+    v "lower" 1;
+    v "upper" 1;
+    v "length" 1;
+    v "substr" 2 ~max:3;
+    v "substring" 2 ~max:3;
+    variadic "concat" 0;
+    variadic "greatest" 1;
+    variadic "least" 1;
+    v "sign" 1;
+    v "year" 1;
+    v "month" 1;
+    v "day" 1 ]
+
+(** Well-known non-deterministic function names. None are implemented; they
+    are recognized so the binder can say "non-deterministic" instead of
+    "unknown", and so the folder never treats them as constants. *)
+let nondeterministic : string list =
+  [ "random"; "rand"; "uuid"; "now"; "current_timestamp"; "current_date";
+    "current_time" ]
+
+let lookup (name : string) : spec option =
+  List.find_opt (fun s -> s.name = name) implemented
+
+let is_implemented name = lookup name <> None
+
+let is_nondeterministic name = List.mem name nondeterministic
+
+(** Safe to constant-fold: implemented and deterministic. *)
+let is_foldable name =
+  match lookup name with
+  | Some s -> s.deterministic
+  | None -> false
+
+let arity_ok (s : spec) (n : int) : bool =
+  n >= s.min_args
+  && (match s.max_args with Some m -> n <= m | None -> true)
+
+(** Human arity description: "1", "2", "1-2" or "at least 1". *)
+let arity_to_string (s : spec) : string =
+  match s.max_args with
+  | Some m when m = s.min_args -> string_of_int m
+  | Some m -> Printf.sprintf "%d-%d" s.min_args m
+  | None -> Printf.sprintf "at least %d" s.min_args
+
+let names () = List.map (fun s -> s.name) implemented

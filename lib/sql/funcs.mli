@@ -1,0 +1,27 @@
+(** The scalar-function registry: names the engine implements, their arity
+    ranges, and determinism. Shared by the binder (unknown-function and
+    arity diagnostics) and by constant folding ([Analysis.is_constant]). *)
+
+type spec = {
+  name : string;
+  min_args : int;
+  max_args : int option;  (** [None] = variadic *)
+  deterministic : bool;
+}
+
+val implemented : spec list
+(** Kept in lockstep with [Openivm_engine.Expr.scalar_function]. *)
+
+val nondeterministic : string list
+(** Recognized non-deterministic names (none are implemented). *)
+
+val lookup : string -> spec option
+val is_implemented : string -> bool
+val is_nondeterministic : string -> bool
+
+val is_foldable : string -> bool
+(** Implemented and deterministic — safe to constant-fold. *)
+
+val arity_ok : spec -> int -> bool
+val arity_to_string : spec -> string
+val names : unit -> string list

@@ -6,7 +6,11 @@
 
 exception Error of string * int (** message, byte offset *)
 
-type positioned = { tok : Token.t; pos : int }
+type positioned = {
+  tok : Token.t;
+  pos : int;   (** byte offset of the token's first character *)
+  stop : int;  (** byte offset one past the token's last character *)
+}
 
 let is_digit c = c >= '0' && c <= '9'
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -15,7 +19,7 @@ let is_ident_char c = is_ident_start c || is_digit c
 let tokenize (src : string) : positioned list =
   let n = String.length src in
   let toks = ref [] in
-  let emit tok pos = toks := { tok; pos } :: !toks in
+  let emit tok pos stop = toks := { tok; pos; stop } :: !toks in
   let rec skip_block_comment i depth =
     if i + 1 >= n then raise (Error ("unterminated block comment", i))
     else if src.[i] = '*' && src.[i + 1] = '/' then
@@ -25,7 +29,7 @@ let tokenize (src : string) : positioned list =
     else skip_block_comment (i + 1) depth
   in
   let rec scan i =
-    if i >= n then emit Token.Eof i
+    if i >= n then emit Token.Eof i i
     else
       let c = src.[i] in
       match c with
@@ -35,25 +39,26 @@ let tokenize (src : string) : positioned list =
         scan (eol (i + 2))
       | '/' when i + 1 < n && src.[i + 1] = '*' ->
         scan (skip_block_comment (i + 2) 1)
-      | '(' -> emit Lparen i; scan (i + 1)
-      | ')' -> emit Rparen i; scan (i + 1)
-      | ',' -> emit Comma i; scan (i + 1)
-      | ';' -> emit Semicolon i; scan (i + 1)
+      | '(' -> emit Lparen i (i + 1); scan (i + 1)
+      | ')' -> emit Rparen i (i + 1); scan (i + 1)
+      | ',' -> emit Comma i (i + 1); scan (i + 1)
+      | ';' -> emit Semicolon i (i + 1); scan (i + 1)
       | '.' when not (i + 1 < n && is_digit src.[i + 1]) ->
-        emit Dot i; scan (i + 1)
-      | '*' -> emit Star i; scan (i + 1)
-      | '+' -> emit Plus i; scan (i + 1)
-      | '-' -> emit Minus i; scan (i + 1)
-      | '/' -> emit Slash i; scan (i + 1)
-      | '%' -> emit Percent i; scan (i + 1)
-      | '=' -> emit Eq i; scan (i + 1)
-      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit Neq i; scan (i + 2)
-      | '<' when i + 1 < n && src.[i + 1] = '>' -> emit Neq i; scan (i + 2)
-      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit Le i; scan (i + 2)
-      | '<' -> emit Lt i; scan (i + 1)
-      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit Ge i; scan (i + 2)
-      | '>' -> emit Gt i; scan (i + 1)
-      | '|' when i + 1 < n && src.[i + 1] = '|' -> emit Concat_op i; scan (i + 2)
+        emit Dot i (i + 1); scan (i + 1)
+      | '*' -> emit Star i (i + 1); scan (i + 1)
+      | '+' -> emit Plus i (i + 1); scan (i + 1)
+      | '-' -> emit Minus i (i + 1); scan (i + 1)
+      | '/' -> emit Slash i (i + 1); scan (i + 1)
+      | '%' -> emit Percent i (i + 1); scan (i + 1)
+      | '=' -> emit Eq i (i + 1); scan (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit Neq i (i + 2); scan (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '>' -> emit Neq i (i + 2); scan (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit Le i (i + 2); scan (i + 2)
+      | '<' -> emit Lt i (i + 1); scan (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit Ge i (i + 2); scan (i + 2)
+      | '>' -> emit Gt i (i + 1); scan (i + 1)
+      | '|' when i + 1 < n && src.[i + 1] = '|' ->
+        emit Concat_op i (i + 2); scan (i + 2)
       | '\'' -> scan_string i
       | '"' -> scan_quoted_ident i
       | c when is_digit c || c = '.' -> scan_number i
@@ -67,7 +72,7 @@ let tokenize (src : string) : positioned list =
         if j + 1 < n && src.[j + 1] = '\'' then begin
           Buffer.add_char buf '\''; go (j + 2)
         end else begin
-          emit (String_lit (Buffer.contents buf)) start;
+          emit (String_lit (Buffer.contents buf)) start (j + 1);
           scan (j + 1)
         end
       else begin Buffer.add_char buf src.[j]; go (j + 1) end
@@ -80,7 +85,8 @@ let tokenize (src : string) : positioned list =
       else find (j + 1)
     in
     let close = find (start + 1) in
-    emit (Quoted_ident (String.sub src (start + 1) (close - start - 1))) start;
+    emit (Quoted_ident (String.sub src (start + 1) (close - start - 1)))
+      start (close + 1);
     scan (close + 1)
   and scan_number start =
     let rec digits j = if j < n && is_digit src.[j] then digits (j + 1) else j in
@@ -100,16 +106,16 @@ let tokenize (src : string) : positioned list =
     in
     let text = String.sub src start (exp_end - start) in
     if exp_end = frac_end && frac_end = int_end then
-      emit (Int_lit (int_of_string text)) start
+      emit (Int_lit (int_of_string text)) start exp_end
     else
-      emit (Float_lit (float_of_string text)) start;
+      emit (Float_lit (float_of_string text)) start exp_end;
     scan exp_end
   and scan_word start =
     let rec go j = if j < n && is_ident_char src.[j] then go (j + 1) else j in
     let stop = go start in
     let word = String.lowercase_ascii (String.sub src start (stop - start)) in
-    if Token.is_keyword word then emit (Keyword word) start
-    else emit (Ident word) start;
+    if Token.is_keyword word then emit (Keyword word) start stop
+    else emit (Ident word) start stop;
     scan stop
   in
   scan 0;

@@ -5,7 +5,8 @@ exception Error of string * int
 
 type positioned = {
   tok : Token.t;
-  pos : int;  (** byte offset of the token's first character *)
+  pos : int;   (** byte offset of the token's first character *)
+  stop : int;  (** byte offset one past the token's last character *)
 }
 
 val tokenize : string -> positioned list

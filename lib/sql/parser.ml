@@ -3,18 +3,56 @@
     Expression grammar (loosest to tightest):
       or_expr > and_expr > not_expr > comparison (=, <>, <, <=, >, >=,
       IS [NOT] NULL, [NOT] IN, [NOT] BETWEEN, [NOT] LIKE) > additive
-      (+, -, concat) > multiplicative (mul, div, mod) > unary (-) > primary. *)
+      (+, -, concat) > multiplicative (mul, div, mod) > unary (-) > primary.
+
+    Besides the AST, the parser records source spans for expressions, FROM
+    items, selects and statements in a side table keyed by physical node
+    identity ([==]). The AST itself stays position-free on purpose: the
+    compiler compares subtrees structurally (GROUP BY matching, CSE), which
+    embedded positions would silently break. The side table works because
+    every AST node is allocated exactly once during the parse; the only
+    exceptions are constant constructors ([Star], [Begin_txn], ...), which
+    share identity — their lookups return the first recorded occurrence. *)
 
 exception Error of string * int
+
+(** Source spans recorded during a parse, keyed by physical identity. *)
+type spans = {
+  expr_spans : (Ast.expr * Diagnostic.span) list;
+  from_spans : (Ast.from_clause * Diagnostic.span) list;
+  select_spans : (Ast.select * Diagnostic.span) list;
+  stmt_spans : (Ast.stmt * Diagnostic.span) list;
+}
+
+let no_spans =
+  { expr_spans = []; from_spans = []; select_spans = []; stmt_spans = [] }
+
+(* Entries are prepended innermost-first and looked up front-to-back, so a
+   node recorded by several productions resolves to its widest span. *)
+let assq_phys key table =
+  List.find_map (fun (k, sp) -> if k == key then Some sp else None) table
+
+let expr_span spans e = assq_phys e spans.expr_spans
+let from_span spans f = assq_phys f spans.from_spans
+let select_span spans s = assq_phys s spans.select_spans
+let statement_span spans s = assq_phys s spans.stmt_spans
 
 type state = {
   toks : Lexer.positioned array;
   mutable cursor : int;
+  mutable s_exprs : (Ast.expr * Diagnostic.span) list;
+  mutable s_froms : (Ast.from_clause * Diagnostic.span) list;
+  mutable s_selects : (Ast.select * Diagnostic.span) list;
+  mutable s_stmts : (Ast.stmt * Diagnostic.span) list;
 }
 
 let of_string src =
   let toks = Array.of_list (Lexer.tokenize src) in
-  { toks; cursor = 0 }
+  { toks; cursor = 0; s_exprs = []; s_froms = []; s_selects = []; s_stmts = [] }
+
+let snapshot_spans st =
+  { expr_spans = st.s_exprs; from_spans = st.s_froms;
+    select_spans = st.s_selects; stmt_spans = st.s_stmts }
 
 let peek st = st.toks.(st.cursor).tok
 let peek2 st =
@@ -22,6 +60,28 @@ let peek2 st =
   else Token.Eof
 let pos st = st.toks.(st.cursor).pos
 let advance st = st.cursor <- st.cursor + 1
+
+(** End of the last consumed token. *)
+let last_stop st = if st.cursor = 0 then 0 else st.toks.(st.cursor - 1).Lexer.stop
+
+let span_from st start =
+  Diagnostic.span ~start_pos:start ~stop_pos:(max start (last_stop st))
+
+let record_expr st start e =
+  st.s_exprs <- (e, span_from st start) :: st.s_exprs;
+  e
+
+let record_from st start f =
+  st.s_froms <- (f, span_from st start) :: st.s_froms;
+  f
+
+let record_select st start s =
+  st.s_selects <- (s, span_from st start) :: st.s_selects;
+  s
+
+let record_stmt st start s =
+  st.s_stmts <- (s, span_from st start) :: st.s_stmts;
+  s
 
 let fail st msg = raise (Error (msg, pos st))
 
@@ -71,7 +131,9 @@ let type_name st =
 
 (* --- expressions --- *)
 
-let rec expr st = or_expr st
+let rec expr st =
+  let start = pos st in
+  record_expr st start (or_expr st)
 
 and or_expr st =
   let lhs = and_expr st in
@@ -155,6 +217,10 @@ and unary st =
   else primary st
 
 and primary st =
+  let start = pos st in
+  record_expr st start (primary_inner st)
+
+and primary_inner st =
   match peek st with
   | Token.Int_lit i -> advance st; Ast.Lit (Ast.L_int i)
   | Token.Float_lit f -> advance st; Ast.Lit (Ast.L_float f)
@@ -255,6 +321,10 @@ and expr_list st =
 (* --- SELECT --- *)
 
 and select_stmt st : Ast.select =
+  let start = pos st in
+  record_select st start (select_stmt_inner st)
+
+and select_stmt_inner st : Ast.select =
   let ctes =
     if accept_kw st "with" then begin
       let rec go acc =
@@ -296,8 +366,10 @@ and set_op_suffix st lhs =
   | Some op ->
     (* chains are encoded right-nested on the rhs and re-associated to the
        left by the consumer (set operations are left-associative) *)
+    let start = pos st in
     let rhs = select_core st in
     let rhs = set_op_suffix st rhs in
+    let rhs = record_select st start rhs in
     { lhs with Ast.set_operation = Some (op, rhs) }
 
 and select_core st : Ast.select =
@@ -374,24 +446,28 @@ and from_clause st =
   joins (from_item st)
 
 and from_item st =
-  if accept st Token.Lparen then begin
-    let q = select_stmt st in
-    expect st Token.Rparen;
-    ignore (accept_kw st "as");
-    let alias = ident st in
-    Ast.Subquery (q, alias)
-  end
-  else begin
-    let name = ident st in
-    let alias =
-      if accept_kw st "as" then Some (ident st)
-      else
-        match peek st with
-        | Token.Ident _ | Token.Quoted_ident _ -> Some (ident st)
-        | _ -> None
-    in
-    Ast.Table_ref (name, alias)
-  end
+  let start = pos st in
+  let item =
+    if accept st Token.Lparen then begin
+      let q = select_stmt st in
+      expect st Token.Rparen;
+      ignore (accept_kw st "as");
+      let alias = ident st in
+      Ast.Subquery (q, alias)
+    end
+    else begin
+      let name = ident st in
+      let alias =
+        if accept_kw st "as" then Some (ident st)
+        else
+          match peek st with
+          | Token.Ident _ | Token.Quoted_ident _ -> Some (ident st)
+          | _ -> None
+      in
+      Ast.Table_ref (name, alias)
+    end
+  in
+  record_from st start item
 
 and order_by_clause st =
   if at_kw st "order" then begin
@@ -484,6 +560,10 @@ let create_table st ~if_not_exists : Ast.stmt =
   Ast.Create_table { table; columns; primary_key; if_not_exists }
 
 let rec statement st : Ast.stmt =
+  let start = pos st in
+  record_stmt st start (statement_inner st)
+
+and statement_inner st : Ast.stmt =
   match peek st with
   | Token.Keyword "explain" -> advance st; Ast.Explain (statement st)
   | Token.Keyword ("select" | "with") -> Ast.Select_stmt (select_stmt st)
@@ -643,14 +723,17 @@ and drop_stmt st =
 
 (* --- entry points --- *)
 
-let parse_statement (src : string) : Ast.stmt =
+let parse_statement_positioned (src : string) : Ast.stmt * spans =
   let st = of_string src in
   let s = statement st in
   ignore (accept st Token.Semicolon);
   if peek st <> Token.Eof then fail st "trailing input after statement";
-  s
+  (s, snapshot_spans st)
 
-let parse_script (src : string) : Ast.stmt list =
+let parse_statement (src : string) : Ast.stmt =
+  fst (parse_statement_positioned src)
+
+let parse_script_positioned (src : string) : Ast.stmt list * spans =
   let st = of_string src in
   let rec go acc =
     if peek st = Token.Eof then List.rev acc
@@ -662,15 +745,25 @@ let parse_script (src : string) : Ast.stmt list =
       go (s :: acc)
     end
   in
-  go []
+  let stmts = go [] in
+  (stmts, snapshot_spans st)
 
-let parse_expression (src : string) : Ast.expr =
+let parse_script (src : string) : Ast.stmt list =
+  fst (parse_script_positioned src)
+
+let parse_expression_positioned (src : string) : Ast.expr * spans =
   let st = of_string src in
   let e = expr st in
   if peek st <> Token.Eof then fail st "trailing input after expression";
-  e
+  (e, snapshot_spans st)
+
+let parse_expression (src : string) : Ast.expr =
+  fst (parse_expression_positioned src)
+
+let parse_select_positioned (src : string) : Ast.select * spans =
+  match parse_statement_positioned src with
+  | Ast.Select_stmt s, spans -> (s, spans)
+  | _ -> raise (Error ("expected a SELECT statement", 0))
 
 let parse_select (src : string) : Ast.select =
-  match parse_statement src with
-  | Ast.Select_stmt s -> s
-  | _ -> raise (Error ("expected a SELECT statement", 0))
+  fst (parse_select_positioned src)

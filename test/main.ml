@@ -16,6 +16,7 @@ let () =
       ("zset", Test_zset.suite);
       ("dbsp", Test_dbsp.suite);
       ("circuit", Test_circuit.suite);
+      ("diagnostics", Test_diagnostics.suite);
       ("shape", Test_shape.suite);
       ("compiler", Test_compiler.suite);
       ("propagate", Test_propagate.suite);

@@ -1,0 +1,246 @@
+(** Golden tests for the semantic pass: diagnostic codes, spans, renderers,
+    the function registry, and the [Sema] binder / IVM lint. *)
+
+open Openivm_engine
+module D = Openivm_sql.Diagnostic
+module Parser = Openivm_sql.Parser
+module Funcs = Openivm_sql.Funcs
+
+let db () =
+  Util.db_with
+    [ "CREATE TABLE t(k VARCHAR, v INTEGER)";
+      "CREATE TABLE u(k VARCHAR, w INTEGER)" ]
+
+let codes ds = List.map (fun (d : D.t) -> d.D.code) ds
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+let bind sql =
+  let s, spans = Parser.parse_select_positioned sql in
+  Openivm.Sema.bind_select (Database.catalog (db ())) ~spans s
+
+let lint sql =
+  let s, spans = Parser.parse_select_positioned sql in
+  Openivm.Sema.lint_view (Database.catalog (db ())) ~spans ~view_name:"vw" s
+
+let check_codes msg expected ds =
+  Alcotest.(check (list string)) msg expected (codes ds)
+
+let has_code code ds =
+  Alcotest.(check bool)
+    (Printf.sprintf "reports %s" code)
+    true
+    (List.mem code (codes ds))
+
+let suite =
+  [ Util.tc "registry codes are unique" (fun () ->
+        let cs = List.map (fun (c, _, _) -> c) D.registry in
+        let sorted = List.sort_uniq String.compare cs in
+        Alcotest.(check int) "no duplicate codes" (List.length cs)
+          (List.length sorted));
+    Util.tc "function registry matches the engine" (fun () ->
+        (* every implemented spec must be accepted by Expr.scalar_function
+           (anything else would let the constant folder "fold" a call the
+           engine cannot evaluate) *)
+        List.iter
+          (fun (spec : Funcs.spec) ->
+             let args = List.init (max spec.Funcs.min_args 1) (fun _ -> Value.Null) in
+             match Expr.scalar_function spec.Funcs.name args with
+             | _ -> ()
+             | exception Error.Sql_error msg ->
+               if contains msg "unknown function" then
+                 Alcotest.failf "%s is in Funcs.implemented but not in the engine"
+                   spec.Funcs.name)
+          Funcs.implemented;
+        (* and the non-deterministic list must not claim implemented names *)
+        List.iter
+          (fun name ->
+             Alcotest.(check bool)
+               (name ^ " not implemented")
+               false (Funcs.is_implemented name))
+          Funcs.nondeterministic);
+    Util.tc "suggest finds close names only" (fun () ->
+        Alcotest.(check (option string)) "typo" (Some "region")
+          (D.suggest "regoin" [ "amount"; "region"; "day" ]);
+        Alcotest.(check (option string)) "far off" None
+          (D.suggest "zzzzzz" [ "amount"; "region" ]));
+    Util.tc "sort: position, spanless last, severity" (fun () ->
+        let s a b = D.span ~start_pos:a ~stop_pos:b in
+        let d1 = D.make ~code:"B" ~severity:D.Error ~span:(s 10 12) "x" in
+        let d2 = D.make ~code:"A" ~severity:D.Error ~span:(s 2 4) "y" in
+        let d3 = D.make ~code:"C" ~severity:D.Warning "z" in
+        check_codes "order" [ "A"; "B"; "C" ] (D.sort [ d1; d3; d2 ]));
+    Util.tc "render: caret spans the offending token" (fun () ->
+        let src = "SELECT nope FROM t" in
+        let d =
+          D.unknown_column ~span:(D.span ~start_pos:7 ~stop_pos:11) "nope"
+        in
+        let rendered = D.render ~file:"q.sql" ~src d in
+        Alcotest.(check string) "golden"
+          ("q.sql:1:8: error[SEM002]: unknown column \"nope\"\n"
+           ^ "   1 | SELECT nope FROM t\n"
+           ^ "     |        ^^^^")
+          rendered);
+    Util.tc "render: line/col on the second line" (fun () ->
+        let src = "SELECT k\nFROM nosuch" in
+        let d =
+          D.unknown_table ~span:(D.span ~start_pos:14 ~stop_pos:20) "nosuch"
+        in
+        let line, col = D.line_col src 14 in
+        Alcotest.(check (pair int int)) "line/col" (2, 6) (line, col);
+        let first = List.hd (String.split_on_char '\n' (D.render ~src d)) in
+        Alcotest.(check string) "header"
+          "<input>:2:6: error[SEM001]: unknown table \"nosuch\"" first);
+    Util.tc "json: fields and counts" (fun () ->
+        let src = "SELECT nope FROM t" in
+        let d =
+          D.unknown_column ~span:(D.span ~start_pos:7 ~stop_pos:11) "nope"
+        in
+        Alcotest.(check string) "object golden"
+          "{\"code\":\"SEM002\",\"severity\":\"error\",\"message\":\"unknown \
+           column \\\"nope\\\"\",\"start\":7,\"stop\":11,\"line\":1,\"col\":8,\
+           \"end_line\":1,\"end_col\":12}"
+          (D.to_json ~src d);
+        let all = D.list_to_json ~file:"q.sql" ~src [ d ] in
+        Alcotest.(check bool) "envelope" true
+          (contains all "\"errors\":1" && contains all "\"file\":\"q.sql\""));
+    (* --- binder --- *)
+    Util.tc "binder: unknown table with suggestion" (fun () ->
+        let ds = bind "SELECT k FROM tt" in
+        check_codes "codes" [ "SEM001" ] ds;
+        Alcotest.(check (option string)) "hint" (Some "did you mean \"t\"?")
+          (List.hd ds).D.hint);
+    Util.tc "binder: one broken FROM does not cascade" (fun () ->
+        check_codes "codes" [ "SEM001" ]
+          (bind "SELECT a, b, c FROM nosuch WHERE d > 1"));
+    Util.tc "binder: unknown column with suggestion" (fun () ->
+        let ds = bind "SELECT vv FROM t" in
+        check_codes "codes" [ "SEM002" ] ds;
+        Alcotest.(check (option string)) "hint" (Some "did you mean \"v\"?")
+          (List.hd ds).D.hint);
+    Util.tc "binder: ambiguous unqualified column" (fun () ->
+        has_code "SEM003" (bind "SELECT k FROM t JOIN u ON t.k = u.k"));
+    Util.tc "binder: unknown qualifier" (fun () ->
+        check_codes "codes" [ "SEM004" ] (bind "SELECT x.k FROM t"));
+    Util.tc "binder: unknown function and arity" (fun () ->
+        check_codes "unknown" [ "SEM005" ] (bind "SELECT lenght(k) FROM t");
+        check_codes "arity" [ "SEM006" ] (bind "SELECT abs(v, v) FROM t"));
+    Util.tc "binder: nested aggregate" (fun () ->
+        has_code "SEM007" (bind "SELECT SUM(COUNT(*)) AS x FROM t"));
+    Util.tc "binder: aggregate in WHERE" (fun () ->
+        has_code "SEM008" (bind "SELECT k FROM t WHERE SUM(v) > 1"));
+    Util.tc "binder: SUM over VARCHAR" (fun () ->
+        check_codes "codes" [ "SEM009" ] (bind "SELECT SUM(k) AS s FROM t"));
+    Util.tc "binder: arithmetic on text" (fun () ->
+        has_code "SEM010" (bind "SELECT k + 1 AS x FROM t"));
+    Util.tc "binder: duplicate output columns" (fun () ->
+        check_codes "codes" [ "SEM011" ] (bind "SELECT k, v AS k FROM t"));
+    Util.tc "binder: non-deterministic function" (fun () ->
+        check_codes "codes" [ "SEM012" ] (bind "SELECT random() AS r FROM t"));
+    Util.tc "binder: non-boolean WHERE is a warning" (fun () ->
+        let ds = bind "SELECT k FROM t WHERE v" in
+        check_codes "codes" [ "SEM013" ] ds;
+        Alcotest.(check bool) "warning, not error" false (D.has_errors ds));
+    Util.tc "binder: subquery and CTE scopes" (fun () ->
+        check_codes "derived ok" []
+          (bind "SELECT q.k FROM (SELECT k FROM t) AS q");
+        check_codes "cte ok" []
+          (bind "WITH c AS (SELECT k FROM t) SELECT k FROM c");
+        check_codes "cte inner error" [ "SEM002" ]
+          (bind "WITH c AS (SELECT zz FROM t) SELECT zz FROM c"));
+    Util.tc "binder: three independent problems in one run" (fun () ->
+        (* sorted by source position: SUM(k), then frobnicate, then zz *)
+        check_codes "all three"
+          [ "SEM009"; "SEM005"; "SEM002" ]
+          (bind "SELECT SUM(k) AS a, frobnicate(v) AS b, zz AS c FROM t"));
+    (* --- IVM lint --- *)
+    Util.tc "lint: every rejection has its code" (fun () ->
+        List.iter
+          (fun (sql, code) -> has_code code (lint sql))
+          [ ("WITH c AS (SELECT k FROM t) SELECT k FROM c", "IVM001");
+            ("SELECT k FROM t UNION SELECT k FROM u", "IVM002");
+            ("SELECT DISTINCT k FROM t", "IVM003");
+            ("SELECT k FROM t LIMIT 3", "IVM004");
+            ("SELECT 1 AS one", "IVM005");
+            ("SELECT q.k FROM (SELECT k FROM t) AS q", "IVM006");
+            ( "SELECT a.k FROM t a JOIN u b ON a.k = b.k JOIN t c ON b.k = \
+               c.k JOIN u d ON c.k = d.k JOIN t e ON d.k = e.k",
+              "IVM007" );
+            ("SELECT t.k FROM t LEFT JOIN u ON t.k = u.k", "IVM008");
+            ("SELECT k FROM t ORDER BY k", "IVM009");
+            ( "SELECT k, SUM(v) AS s FROM t GROUP BY k HAVING SUM(v) > 0",
+              "IVM010" );
+            ("SELECT *, COUNT(*) AS n FROM t", "IVM011");
+            ("SELECT k, COUNT(DISTINCT v) AS n FROM t GROUP BY k", "IVM012");
+            ("SELECT k, SUM(v) + 1 AS s FROM t GROUP BY k", "IVM013");
+            ("SELECT SUM(v) AS s FROM t GROUP BY k", "IVM014") ]);
+    Util.tc "lint: rejection spans point into the source" (fun () ->
+        let sql = "SELECT k FROM t ORDER BY k" in
+        let s, spans = Parser.parse_select_positioned sql in
+        let ds =
+          Openivm.Sema.lint_view (Database.catalog (db ())) ~spans
+            ~view_name:"vw" s
+        in
+        let d = List.find (fun (d : D.t) -> d.D.code = "IVM009") ds in
+        match d.D.span with
+        | Some sp ->
+          Alcotest.(check string) "span text" "k"
+            (String.sub sql sp.D.start_pos (sp.D.stop_pos - sp.D.start_pos))
+        | None -> Alcotest.fail "IVM009 lost its span");
+    Util.tc "lint: MIN/MAX and AVG advisories" (fun () ->
+        let ds = lint "SELECT k, MIN(v) AS lo, AVG(v) AS m FROM t GROUP BY k" in
+        has_code "IVM101" ds;
+        has_code "IVM102" ds;
+        Alcotest.(check bool) "no errors" false (D.has_errors ds));
+    Util.tc "lint: unindexed key warns, indexed does not" (fun () ->
+        let unindexed = lint "SELECT k, COUNT(*) AS n FROM t GROUP BY k" in
+        has_code "IVM103" unindexed;
+        let db =
+          Util.db_with
+            [ "CREATE TABLE t(k VARCHAR PRIMARY KEY, v INTEGER)" ]
+        in
+        let s, spans =
+          Parser.parse_select_positioned
+            "SELECT k, COUNT(*) AS n FROM t GROUP BY k"
+        in
+        let ds =
+          Openivm.Sema.lint_view (Database.catalog db) ~spans ~view_name:"vw" s
+        in
+        Alcotest.(check (list string)) "clean" [] (codes ds));
+    (* --- scripts --- *)
+    Util.tc "check_script: parse error becomes SEM000" (fun () ->
+        let ds =
+          Openivm.Sema.check_script (Database.create ()) "SELECT FROM WHERE"
+        in
+        check_codes "codes" [ "SEM000" ] ds);
+    Util.tc "check_script: accumulates across statements" (fun () ->
+        let src =
+          "CREATE TABLE s(r VARCHAR PRIMARY KEY, a INTEGER);\n\
+           CREATE MATERIALIZED VIEW v AS SELECT r, SUM(b) AS s FROM s GROUP \
+           BY r;\n\
+           SELECT nope FROM s;"
+        in
+        let ds = Openivm.Sema.check_script (Database.create ()) src in
+        Alcotest.(check (list string)) "codes" [ "SEM002"; "SEM002" ]
+          (codes ds);
+        (* spans are script-global: the second SEM002 sits on line 3 *)
+        match (List.nth ds 1).D.span with
+        | Some sp ->
+          Alcotest.(check int) "line" 3 (fst (D.line_col src sp.D.start_pos))
+        | None -> Alcotest.fail "script diagnostic lost its span");
+    Util.tc "check_script: later statements see checked views" (fun () ->
+        let src =
+          "CREATE TABLE t(k VARCHAR PRIMARY KEY, v INTEGER);\n\
+           CREATE MATERIALIZED VIEW m AS SELECT k, SUM(v) AS s FROM t GROUP \
+           BY k;\n\
+           SELECT s FROM m;\n\
+           SELECT zz FROM m;"
+        in
+        let ds = Openivm.Sema.check_script (Database.create ()) src in
+        check_codes "only the bad column" [ "SEM002" ] ds);
+  ]

@@ -186,4 +186,68 @@ let suite =
       (check_roundtrip "CREATE TABLE t (a INTEGER NOT NULL, b DOUBLE, c VARCHAR, PRIMARY KEY (a))");
     Util.tc "roundtrip: update"
       (check_roundtrip "UPDATE t SET a = a % 3 WHERE NOT b OR c LIKE 'x%'");
+    (* --- position threading --- *)
+    Util.tc "positions: where clause expression" (fun () ->
+        let sql = "SELECT k FROM t WHERE amount > 100" in
+        let s, spans = Parser.parse_select_positioned sql in
+        match s.Ast.where with
+        | Some w ->
+          (match Parser.expr_span spans w with
+           | Some sp ->
+             Alcotest.(check string) "span text" "amount > 100"
+               (String.sub sql sp.Diagnostic.start_pos
+                  (sp.Diagnostic.stop_pos - sp.Diagnostic.start_pos))
+           | None -> Alcotest.fail "WHERE expression has no span")
+        | None -> Alcotest.fail "expected WHERE");
+    Util.tc "positions: each projection has its own span" (fun () ->
+        let sql = "SELECT k, SUM(v) AS s FROM t GROUP BY k" in
+        let s, spans = Parser.parse_select_positioned sql in
+        let texts =
+          List.map
+            (fun (e, _) ->
+               match Parser.expr_span spans e with
+               | Some sp ->
+                 String.sub sql sp.Diagnostic.start_pos
+                   (sp.Diagnostic.stop_pos - sp.Diagnostic.start_pos)
+               | None -> "<none>")
+            s.Ast.projections
+        in
+        Alcotest.(check (list string)) "texts" [ "k"; "SUM(v)" ] texts);
+    Util.tc "positions: from items" (fun () ->
+        let sql = "SELECT t.k FROM t JOIN u ON t.k = u.k" in
+        let s, spans = Parser.parse_select_positioned sql in
+        match s.Ast.from with
+        | Some (Ast.Join (l, _, r, _)) ->
+          let text f =
+            match Parser.from_span spans f with
+            | Some sp ->
+              String.sub sql sp.Diagnostic.start_pos
+                (sp.Diagnostic.stop_pos - sp.Diagnostic.start_pos)
+            | None -> "<none>"
+          in
+          Alcotest.(check string) "left" "t" (text l);
+          Alcotest.(check string) "right" "u" (text r)
+        | _ -> Alcotest.fail "expected a join");
+    Util.tc "positions: script offsets are global" (fun () ->
+        let sql = "SELECT 1 AS a;\nSELECT nope FROM t;" in
+        let stmts, spans = Parser.parse_script_positioned sql in
+        match stmts with
+        | [ _; Ast.Select_stmt s2 ] ->
+          let e = fst (List.hd s2.Ast.projections) in
+          (match Parser.expr_span spans e with
+           | Some sp ->
+             Alcotest.(check string) "second stmt text" "nope"
+               (String.sub sql sp.Diagnostic.start_pos
+                  (sp.Diagnostic.stop_pos - sp.Diagnostic.start_pos));
+             Alcotest.(check (pair int int)) "line/col" (2, 8)
+               (Diagnostic.line_col sql sp.Diagnostic.start_pos)
+           | None -> Alcotest.fail "projection has no span")
+        | _ -> Alcotest.fail "expected two statements");
+    Util.tc "positions: plain entry points stay span-free" (fun () ->
+        (* structural equality with positioned parse: the AST itself must
+           not carry positions *)
+        let sql = "SELECT k, v + 1 AS x FROM t WHERE v > 2" in
+        let plain = Parser.parse_statement sql in
+        let positioned, _ = Parser.parse_statement_positioned sql in
+        Alcotest.(check bool) "same AST" true (plain = positioned));
   ]
