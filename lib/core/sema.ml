@@ -233,6 +233,7 @@ and resolve_from ctx env (f : Ast.from_clause) : scope =
      | None ->
        let candidates =
          List.map fst env @ Catalog.table_names ctx.catalog
+         @ Catalog.view_names ctx.catalog
        in
        emit ctx
          (D.unknown_table ?span:(fspan ctx f)
@@ -290,13 +291,23 @@ and bind_select_inner ctx env (s : Ast.select) : Schema.t =
        check_expr ctx scope ~agg:`Allowed ~in_agg:false e;
        check_boolean ctx scope ~clause:"HAVING" e)
     s.Ast.having;
-  (* ORDER BY also sees the select's output aliases *)
-  let order_scope =
-    { scope with schema = scope.schema @ output_schema scope s }
-  in
+  (* ORDER BY: a bare column name resolves against the select's output
+     columns first — so `SELECT a FROM t ORDER BY a` is not ambiguous and
+     aliases are visible — while qualified names and compound expressions
+     bind in the FROM scope, as in standard SQL. *)
+  let out = output_schema scope s in
   List.iter
     (fun (o : Ast.order_item) ->
-       check_expr ctx order_scope ~agg:`Allowed ~in_agg:false o.Ast.order_expr)
+       match o.Ast.order_expr with
+       | Ast.Column (None, name) as e when name <> "*" ->
+         (match Schema.find_opt out ~qualifier:None ~name with
+          | Some _ -> ()
+          | None -> check_expr ctx scope ~agg:`Allowed ~in_agg:false e
+          | exception Error.Sql_error _ ->
+            (* two output columns share the name; output columns carry no
+               qualifier, so there is nothing to suggest qualifying *)
+            emit ctx (D.ambiguous_column ?span:(espan ctx e) name []))
+       | e -> check_expr ctx scope ~agg:`Allowed ~in_agg:false e)
     s.Ast.order_by;
   (* duplicate output names, SEM011 — pointed at the second occurrence *)
   (match Analysis.duplicate_name (Analysis.output_names s) with
@@ -316,7 +327,7 @@ and bind_select_inner ctx env (s : Ast.select) : Schema.t =
   (match s.Ast.set_operation with
    | Some (_, rhs) -> ignore (bind_select_inner ctx env rhs)
    | None -> ());
-  output_schema scope s
+  out
 
 (* --- public entry points --- *)
 

@@ -71,3 +71,7 @@ let drop_index t ~index_name ~if_exists =
 let table_names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.tables []
   |> List.sort String.compare
+
+let view_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.views []
+  |> List.sort String.compare

@@ -32,3 +32,6 @@ val drop_index : t -> index_name:string -> if_exists:bool -> unit
 
 val table_names : t -> string list
 (** Sorted. *)
+
+val view_names : t -> string list
+(** Sorted. *)

@@ -220,11 +220,15 @@ let unknown_column ?span ?suggestion name =
     (Printf.sprintf "unknown column %S" name)
 
 let ambiguous_column ?span name bindings =
-  err "SEM003" ?span
-    ~hint:(Printf.sprintf "qualify it: %s"
-             (String.concat " or "
-                (List.map (fun b -> b ^ "." ^ name) bindings)))
-    (Printf.sprintf "ambiguous column %S" name)
+  let hint =
+    match bindings with
+    | [] -> None  (* no qualified candidates: nothing to suggest *)
+    | bs ->
+      Some (Printf.sprintf "qualify it: %s"
+              (String.concat " or "
+                 (List.map (fun b -> b ^ "." ^ name) bs)))
+  in
+  err "SEM003" ?span ?hint (Printf.sprintf "ambiguous column %S" name)
 
 let unknown_qualifier ?span ?suggestion name =
   err "SEM004" ?span

@@ -125,6 +125,25 @@ let suite =
           (List.hd ds).D.hint);
     Util.tc "binder: ambiguous unqualified column" (fun () ->
         has_code "SEM003" (bind "SELECT k FROM t JOIN u ON t.k = u.k"));
+    Util.tc "binder: ORDER BY resolves output columns first" (fun () ->
+        (* a projected base column referenced unqualified must not be
+           ambiguous against its own output alias *)
+        check_codes "projected column" [] (bind "SELECT k FROM t ORDER BY k");
+        check_codes "alias" [] (bind "SELECT v AS x FROM t ORDER BY x");
+        check_codes "alias shadows base" []
+          (bind "SELECT v AS k FROM t ORDER BY k");
+        check_codes "unprojected base column" []
+          (bind "SELECT k FROM t ORDER BY v");
+        check_codes "qualified base column" []
+          (bind "SELECT k FROM t ORDER BY t.v");
+        check_codes "unknown order column" [ "SEM002" ]
+          (bind "SELECT k FROM t ORDER BY zz"));
+    Util.tc "binder: ORDER BY on duplicate alias has no empty hint" (fun () ->
+        let ds = bind "SELECT k AS x, v AS x FROM t ORDER BY x" in
+        has_code "SEM003" ds;
+        has_code "SEM011" ds;
+        let amb = List.find (fun (d : D.t) -> d.D.code = "SEM003") ds in
+        Alcotest.(check (option string)) "no dangling hint" None amb.D.hint);
     Util.tc "binder: unknown qualifier" (fun () ->
         check_codes "codes" [ "SEM004" ] (bind "SELECT x.k FROM t"));
     Util.tc "binder: unknown function and arity" (fun () ->
@@ -233,6 +252,16 @@ let suite =
         | Some sp ->
           Alcotest.(check int) "line" 3 (fst (D.line_col src sp.D.start_pos))
         | None -> Alcotest.fail "script diagnostic lost its span");
+    Util.tc "check_script: view typo gets a suggestion" (fun () ->
+        let src =
+          "CREATE TABLE base(k VARCHAR);\n\
+           CREATE VIEW myview AS SELECT k FROM base;\n\
+           SELECT k FROM myvew;"
+        in
+        let ds = Openivm.Sema.check_script (Database.create ()) src in
+        check_codes "codes" [ "SEM001" ] ds;
+        Alcotest.(check (option string)) "hint" (Some "did you mean \"myview\"?")
+          (List.hd ds).D.hint);
     Util.tc "check_script: later statements see checked views" (fun () ->
         let src =
           "CREATE TABLE t(k VARCHAR PRIMARY KEY, v INTEGER);\n\
