@@ -26,24 +26,22 @@ let load_input ~inline ~file ~what =
   | Some _, Some _ -> Error (Printf.sprintf "give %s inline or as a file, not both" what)
   | None, None -> Error (Printf.sprintf "missing %s (use --%s or --%s-file)" what what what)
 
-let strategy_of_string = function
-  | "upsert_linear" -> Ok Openivm.Flags.Upsert_linear
-  | "union_regroup" -> Ok Openivm.Flags.Union_regroup
-  | "outer_join_merge" -> Ok Openivm.Flags.Outer_join_merge
-  | "rederive_affected" -> Ok Openivm.Flags.Rederive_affected
-  | "full_recompute" -> Ok Openivm.Flags.Full_recompute
-  | s -> Error (Printf.sprintf "unknown strategy %S" s)
+let strategy_of_string s =
+  match Openivm.Flags.strategy_of_string s with
+  | Some st -> Ok st
+  | None -> Error (Printf.sprintf "unknown strategy %S" s)
+
+let dialect_of_string s =
+  match Openivm_sql.Dialect.of_string s with
+  | Some d -> Ok d
+  | None -> Error (Printf.sprintf "unknown dialect %S" s)
 
 let compile_action schema schema_file view view_file dialect strategy
     paper_compat eager no_indexes advise expected_delta =
   let ( let* ) = Result.bind in
   let* schema_sql = load_input ~inline:schema ~file:schema_file ~what:"schema" in
   let* view_sql = load_input ~inline:view ~file:view_file ~what:"view" in
-  let* dialect =
-    match Openivm_sql.Dialect.of_string dialect with
-    | Some d -> Ok d
-    | None -> Error (Printf.sprintf "unknown dialect %S" dialect)
-  in
+  let* dialect = dialect_of_string dialect in
   let* strategy = strategy_of_string strategy in
   let flags =
     { (if paper_compat then Openivm.Flags.paper else Openivm.Flags.default) with
@@ -116,7 +114,7 @@ let dialect_arg =
 let strategy_arg =
   Arg.(value & opt string "upsert_linear" & info [ "strategy" ] ~docv:"NAME"
          ~doc:"Combine strategy: upsert_linear, union_regroup, \
-               rederive_affected or full_recompute.")
+               outer_join_merge, rederive_affected or full_recompute.")
 
 let paper_arg =
   Arg.(value & flag & info [ "paper-compat" ]
@@ -368,6 +366,120 @@ let htap_cmd =
       $ reorder_arg $ corrupt_arg $ crash_arg $ fault_seed_arg
       $ sync_every_arg $ strict_replica_arg)
 
+(* --- the fuzz subcommand: differential fuzzing of the whole pipeline --- *)
+
+let fuzz_action seed cases max_steps strategy dialect corpus replay no_shrink =
+  let ( let* ) = Result.bind in
+  let module F = Openivm_fuzz in
+  let* strategies =
+    match strategy with
+    | None -> Ok []
+    | Some s -> Result.map (fun st -> [ st ]) (strategy_of_string s)
+  in
+  let* dialects =
+    match dialect with
+    | None -> Ok []
+    | Some d -> Result.map (fun d -> [ d ]) (dialect_of_string d)
+  in
+  match replay with
+  | Some path when Sys.file_exists path && Sys.is_directory path ->
+    let results = F.Corpus.replay ~log:print_endline ~dir:path () in
+    let failed = List.filter (fun r -> r.F.Corpus.error <> None) results in
+    Printf.printf "fuzz: replayed %d corpus case(s), %d failure(s)\n"
+      (List.length results) (List.length failed);
+    List.iter
+      (fun (r : F.Corpus.replay_result) ->
+         match r.error with
+         | Some msg -> Printf.printf "FAIL %s\n%s\n" r.file msg
+         | None -> ())
+      failed;
+    if failed = [] then Ok () else Error "corpus replay failed"
+  | Some path ->
+    let* case = F.Corpus.load_file path in
+    let case =
+      { case with
+        F.Case.strategies =
+          (if strategies = [] then case.F.Case.strategies else strategies);
+        dialects = (if dialects = [] then case.F.Case.dialects else dialects) }
+    in
+    (match F.Oracle.first_failure case with
+     | None ->
+       Printf.printf "fuzz: %s replayed clean\n" path;
+       Ok ()
+     | Some msg ->
+       Printf.printf "FAIL %s\n%s\n" path msg;
+       Error "replay failed")
+  | None ->
+    let config =
+      { F.Campaign.default with
+        base_seed = seed; cases; max_steps; strategies; dialects;
+        corpus_dir = corpus; shrink = not no_shrink; log = print_endline }
+    in
+    let report = F.Campaign.run config in
+    print_endline (F.Campaign.summary report);
+    if report.F.Campaign.failures = [] then Ok ()
+    else Error "differential fuzzing found failures"
+
+let fuzz_seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+         ~doc:"Base generator seed; case $(i,i) of the run uses seed N+i, \
+               so any failure replays with --seed N+i --cases 1.")
+
+let fuzz_cases_arg =
+  Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N"
+         ~doc:"Number of generated cases to check.")
+
+let fuzz_max_steps_arg =
+  Arg.(value & opt int 30 & info [ "max-steps" ] ~docv:"N"
+         ~doc:"Workload statements per case (refresh + consistency check \
+               after each).")
+
+let fuzz_strategy_arg =
+  Arg.(value & opt (some string) None & info [ "strategy" ] ~docv:"NAME"
+         ~doc:"Restrict the oracle to one combine strategy (default: all \
+               five).")
+
+let fuzz_dialect_arg =
+  Arg.(value & opt (some string) None & info [ "dialect" ] ~docv:"NAME"
+         ~doc:"Restrict the oracle to one dialect (default: duckdb and \
+               postgres).")
+
+let fuzz_corpus_arg =
+  Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR"
+         ~doc:"Save a shrunk reproducer file under DIR for every failure.")
+
+let fuzz_replay_arg =
+  Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"PATH"
+         ~doc:"Replay a reproducer file — or every *.sql file in a \
+               directory — instead of generating new cases.")
+
+let fuzz_no_shrink_arg =
+  Arg.(value & flag & info [ "no-shrink" ]
+         ~doc:"Report the original failing case without minimizing it.")
+
+let fuzz_cmd =
+  let doc = "differentially fuzz the compiler against full recomputation" in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Generates random (schema, view, DML workload) cases, installs \
+          each view under every combine strategy and dialect, and asserts \
+          after every refresh that the maintained view equals a full \
+          recompute of its defining query. Generated SELECTs are also run \
+          with the optimizer on and off, and round-tripped through the \
+          pretty-printer.";
+      `P "On failure the case is shrunk to a minimal reproducer (printed, \
+          and saved under --corpus DIR if given); every failure message \
+          embeds the exact command that replays it. Exits 0 when all cases \
+          pass, 1 otherwise." ]
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc ~man)
+    Term.(
+      const (fun a b c d e f g h -> to_exit (fuzz_action a b c d e f g h))
+      $ fuzz_seed_arg $ fuzz_cases_arg $ fuzz_max_steps_arg
+      $ fuzz_strategy_arg $ fuzz_dialect_arg $ fuzz_corpus_arg
+      $ fuzz_replay_arg $ fuzz_no_shrink_arg)
+
 let compile_cmd =
   let doc = "compile a materialized view definition into IVM SQL" in
   Cmd.v
@@ -382,6 +494,6 @@ let compile_cmd =
 let main_cmd =
   let doc = "OpenIVM: a SQL-to-SQL compiler for incremental computations" in
   Cmd.group (Cmd.info "openivm" ~version:"1.0.0" ~doc)
-    [ compile_cmd; check_cmd; htap_cmd ]
+    [ compile_cmd; check_cmd; fuzz_cmd; htap_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -32,6 +32,18 @@ let strategy_to_string = function
   | Rederive_affected -> "rederive_affected"
   | Full_recompute -> "full_recompute"
 
+let all_strategies =
+  [ Upsert_linear; Union_regroup; Outer_join_merge; Rederive_affected;
+    Full_recompute ]
+
+let strategy_of_string = function
+  | "upsert_linear" -> Some Upsert_linear
+  | "union_regroup" -> Some Union_regroup
+  | "outer_join_merge" -> Some Outer_join_merge
+  | "rederive_affected" -> Some Rederive_affected
+  | "full_recompute" -> Some Full_recompute
+  | _ -> None
+
 type refresh_mode =
   | Eager  (** propagate on every base-table change *)
   | Lazy   (** propagate when the view is queried (the demo's choice) *)

@@ -87,6 +87,45 @@ let contents ?(order_by = "") v : Database.query_result =
   let suffix = if order_by = "" then "" else " ORDER BY " ^ order_by in
   query v (Printf.sprintf "SELECT * FROM %s%s" (view_name v) suffix)
 
+(* --- the differential-testing hooks --- *)
+
+(** The view's visible contents as sorted row strings. Hidden bookkeeping
+    columns are stripped; flat (non-aggregate) views materialize in
+    weighted form, so their rows are expanded by the hidden row count to
+    recover bag semantics. The oracle's left-hand side. *)
+let visible_rows (v : view) : string list =
+  let shape = v.compiled.Compiler.shape in
+  let visible = Shape.visible_names shape in
+  let flat = not (Shape.has_aggregates shape) in
+  let cols = if flat then visible @ [ Shape.count_column ] else visible in
+  let r =
+    query v
+      (Printf.sprintf "SELECT %s FROM %s" (String.concat ", " cols)
+         (view_name v))
+  in
+  let rows =
+    if flat then
+      List.concat_map
+        (fun (row : Row.t) ->
+           let n = Array.length row - 1 in
+           let weight = match row.(n) with Value.Int w -> w | _ -> 1 in
+           let visible_part = Array.sub row 0 n in
+           List.init (max 0 weight) (fun _ -> Row.to_string visible_part))
+        r.Database.rows
+    else List.map Row.to_string r.Database.rows
+  in
+  List.sort String.compare rows
+
+(** Full recomputation of the defining query against the base tables as
+    they stand now, as sorted row strings — the oracle's right-hand side.
+    [visible_rows v = recompute_rows v] is the IVM correctness invariant
+    (paper §2, DBSP Z-set semantics). *)
+let recompute_rows (v : view) : string list =
+  let q = v.compiled.Compiler.shape.Shape.query in
+  let sql = Openivm_sql.Pretty.select_to_sql Openivm_sql.Dialect.minidb q in
+  List.sort String.compare
+    (List.map Row.to_string (Database.query v.db sql).Database.rows)
+
 (* --- installation --- *)
 
 let store_scripts_on_disk (compiled : Compiler.t) =

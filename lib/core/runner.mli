@@ -43,6 +43,16 @@ val query : view -> string -> Database.query_result
 val contents : ?order_by:string -> view -> Database.query_result
 (** [SELECT * FROM view]. *)
 
+val visible_rows : view -> string list
+(** The view's visible contents as sorted row strings: hidden bookkeeping
+    columns stripped, flat views expanded from weighted form back to bag
+    semantics. Queries through the view's refresh policy. *)
+
+val recompute_rows : view -> string list
+(** Rerun the defining query from scratch against the current base tables,
+    as sorted row strings. [visible_rows v = recompute_rows v] is the IVM
+    correctness invariant the differential oracle checks. *)
+
 (** {1 The extension entry point} *)
 
 type extension = {

@@ -81,9 +81,15 @@ and expand_stars env (input : Plan.t) (projections : (Sql.Ast.expr * string opti
     references into the Aggregate node's output. *)
 and rewrite_over_aggregate ~group_exprs ~agg_of_node (e : Sql.Ast.expr) : Sql.Ast.expr =
   let rec go e =
-    (* whole-expression match against a GROUP BY expression first *)
+    (* whole-expression match against a GROUP BY expression first; keep the
+       qualifier so two group keys sharing a bare name (t1.label, t2.label)
+       stay distinguishable in the Aggregate output schema *)
     match List.find_opt (fun (g, _) -> g = e) group_exprs with
-    | Some (_, name) -> Sql.Ast.Column (None, name)
+    | Some (g, name) ->
+      let qualifier =
+        match g with Sql.Ast.Column (q, _) -> q | _ -> None
+      in
+      Sql.Ast.Column (qualifier, name)
     | None ->
       (match e with
        | Sql.Ast.Aggregate _ -> Sql.Ast.Column (None, agg_of_node e)

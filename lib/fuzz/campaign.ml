@@ -1,0 +1,104 @@
+(** The fuzz loop: generate case [i] from [base_seed + i], run the
+    differential oracle over the strategy × dialect matrix, shrink every
+    failure to a minimal reproducer, and (optionally) write it into a
+    corpus directory. Used by the [openivm fuzz] CLI and the [@fuzz]
+    smoke alias alike. *)
+
+module Flags = Openivm.Flags
+module Dialect = Openivm_sql.Dialect
+
+type config = {
+  base_seed : int;
+  cases : int;
+  max_steps : int;
+  queries : int;
+  strategies : Flags.combine_strategy list;  (** [] = every strategy *)
+  dialects : Dialect.t list;                 (** [] = duckdb and postgres *)
+  corpus_dir : string option;  (** where to save shrunk reproducers *)
+  shrink : bool;
+  log : string -> unit;
+}
+
+let default =
+  { base_seed = 42; cases = 100; max_steps = 30; queries = 4;
+    strategies = []; dialects = []; corpus_dir = None; shrink = true;
+    log = ignore }
+
+type case_failure = {
+  failure : Oracle.failure;
+  minimized : Case.t;
+  shrink_stats : Shrink.stats option;
+  saved_to : string option;
+}
+
+type report = {
+  cases_run : int;
+  checks_run : int;
+  failures : case_failure list;
+}
+
+let summary (r : report) : string =
+  if r.failures = [] then
+    Printf.sprintf "fuzz: %d cases, %d checks, all green" r.cases_run
+      r.checks_run
+  else
+    Printf.sprintf "fuzz: %d cases, %d checks, %d FAILURE(S)\n%s" r.cases_run
+      r.checks_run
+      (List.length r.failures)
+      (String.concat "\n"
+         (List.map
+            (fun f ->
+               f.failure.Oracle.message
+               ^
+               match f.saved_to with
+               | Some path -> Printf.sprintf "\n  saved reproducer: %s" path
+               | None -> "")
+            r.failures))
+
+let run (cfg : config) : report =
+  let checks = ref 0 in
+  let failures = ref [] in
+  for i = 0 to cfg.cases - 1 do
+    let seed = cfg.base_seed + i in
+    let case =
+      { (Gen.case ~max_steps:cfg.max_steps ~queries:cfg.queries ~seed ()) with
+        Case.strategies = cfg.strategies;
+        dialects = cfg.dialects }
+    in
+    let outcome = Oracle.run case in
+    checks := !checks + outcome.Oracle.checks;
+    (match outcome.Oracle.failure with
+     | None ->
+       if (i + 1) mod 50 = 0 then
+         cfg.log (Printf.sprintf "fuzz: %d/%d cases green" (i + 1) cfg.cases)
+     | Some failure ->
+       cfg.log (Printf.sprintf "fuzz: case seed=%d FAILED\n%s" seed
+                  failure.Oracle.message);
+       let minimized, shrink_stats =
+         if cfg.shrink then begin
+           let m, st = Shrink.minimize ~oracle:Oracle.first_failure case in
+           cfg.log
+             (Printf.sprintf
+                "fuzz: shrunk to %d setup + %d workload statement(s) (%d \
+                 oracle calls, %d reductions)"
+                (List.length m.Case.setup)
+                (List.length m.Case.workload)
+                st.Shrink.attempts st.Shrink.kept);
+           (m, Some st)
+         end
+         else (case, None)
+       in
+       let saved_to =
+         Option.map
+           (fun dir ->
+              let path = Corpus.save ~dir minimized in
+              cfg.log (Printf.sprintf "fuzz: reproducer saved to %s" path);
+              path)
+           cfg.corpus_dir
+       in
+       cfg.log ("fuzz: minimal reproducer:\n" ^ Case.to_string minimized);
+       failures :=
+         { failure; minimized; shrink_stats; saved_to } :: !failures)
+  done;
+  { cases_run = cfg.cases; checks_run = !checks;
+    failures = List.rev !failures }

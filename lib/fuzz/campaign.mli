@@ -1,0 +1,40 @@
+(** The fuzz loop: generate, check, shrink, save. Case [i] is generated
+    from seed [base_seed + i], so any failure is re-creatable with
+    [openivm fuzz --seed (base_seed + i) --cases 1]. *)
+
+module Flags = Openivm.Flags
+module Dialect = Openivm_sql.Dialect
+
+type config = {
+  base_seed : int;
+  cases : int;
+  max_steps : int;
+  queries : int;
+  strategies : Flags.combine_strategy list;  (** [] = every strategy *)
+  dialects : Dialect.t list;                 (** [] = duckdb and postgres *)
+  corpus_dir : string option;  (** where to save shrunk reproducers *)
+  shrink : bool;
+  log : string -> unit;
+}
+
+val default : config
+(** seed 42, 100 cases, 30 steps, 4 queries, full matrix, no corpus. *)
+
+type case_failure = {
+  failure : Oracle.failure;
+  minimized : Case.t;           (** = the original case when shrink is off *)
+  shrink_stats : Shrink.stats option;
+  saved_to : string option;     (** corpus file written, if any *)
+}
+
+type report = {
+  cases_run : int;
+  checks_run : int;
+  failures : case_failure list;
+}
+
+val run : config -> report
+
+val summary : report -> string
+(** One-paragraph human summary; includes every failure message (each of
+    which embeds its reproducer command). *)

@@ -1,0 +1,69 @@
+(** The replay corpus: a directory of [*.sql] reproducer files in the
+    {!Case} text format. Every fuzz failure that was ever shrunk gets
+    checked in here as a regression case; [replay] runs each file back
+    through the differential oracle. *)
+
+let is_case_file name = Filename.check_suffix name ".sql"
+
+let files ~dir : string list =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter is_case_file
+    |> List.sort String.compare
+    |> List.map (Filename.concat dir)
+
+let load_file path : (Case.t, string) result =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error (Printf.sprintf "cannot read %s: %s" path msg)
+  | text ->
+    (match Case.of_string text with
+     | Ok case -> Ok case
+     | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+(** Write the case as [dir/name.sql] (default name [case-<seed>]),
+    creating [dir] if needed. Returns the path written. *)
+let save ~dir ?name (case : Case.t) : string =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "case-%d" case.Case.seed
+  in
+  let path = Filename.concat dir (name ^ ".sql") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Case.to_string case));
+  path
+
+type replay_result = {
+  file : string;
+  error : string option;   (** parse error or oracle failure message *)
+}
+
+(** Run every corpus file through the oracle. A file that fails to parse
+    counts as a failure — a broken reproducer must not pass silently. *)
+let replay ?(log = fun _ -> ()) ~dir () : replay_result list =
+  List.map
+    (fun file ->
+       match load_file file with
+       | Error msg -> { file; error = Some msg }
+       | Ok case ->
+         (match (Oracle.run case).Oracle.failure with
+          | None ->
+            log (Printf.sprintf "corpus ok   %s" file);
+            { file; error = None }
+          | Some f ->
+            log (Printf.sprintf "corpus FAIL %s\n%s" file f.Oracle.message);
+            { file;
+              error =
+                Some
+                  (Printf.sprintf "%s\n  replay: openivm fuzz --replay %s"
+                     f.Oracle.message file) }))
+    (files ~dir)

@@ -1,0 +1,21 @@
+(** The replay corpus: a directory of [*.sql] reproducer files in the
+    {!Case} text format, replayed as regression cases. *)
+
+val files : dir:string -> string list
+(** Sorted [*.sql] paths under [dir]; [] when the directory is missing. *)
+
+val load_file : string -> (Case.t, string) result
+
+val save : dir:string -> ?name:string -> Case.t -> string
+(** Write the case as [dir/name.sql] (default [case-<seed>]), creating
+    [dir] if needed. Returns the path written. *)
+
+type replay_result = {
+  file : string;
+  error : string option;   (** parse error or oracle failure message *)
+}
+
+val replay :
+  ?log:(string -> unit) -> dir:string -> unit -> replay_result list
+(** Run every corpus file through the differential oracle. Unparseable
+    files count as failures. *)

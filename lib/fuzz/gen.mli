@@ -1,0 +1,12 @@
+(** Seeded generators for schemas, IVM view definitions, DML workloads and
+    plain SELECT queries. Pure functions of the seed: the same seed always
+    yields the same case, making [openivm fuzz --seed N --cases 1] an
+    exact reproducer. Generated views stay inside the classes
+    {!Openivm.Shape.analyze} accepts by construction. *)
+
+val case :
+  ?max_steps:int -> ?queries:int -> ?with_view:bool -> seed:int -> unit ->
+  Case.t
+(** [case ~seed ()] generates one case: [max_steps] workload statements
+    (default 30), [queries] SELECTs for the optimizer oracle (default 4);
+    [with_view:false] yields a query-only case (default true). *)

@@ -1,0 +1,229 @@
+(** Greedy case minimizer. Given a failing case and an oracle predicate,
+    repeatedly tries structurally smaller candidates and keeps every one
+    that still fails:
+
+    - workload / setup / query lists shrink by delta-debugging style
+      chunk removal (halving chunk sizes down to single statements);
+    - the view definition loses its WHERE clause, surplus aggregates and
+      surplus group keys (group-key drops also leave GROUP BY);
+    - literal values inside the surviving DML simplify toward [0] / ['a'],
+      one literal at a time.
+
+    The whole process is deterministic — no randomness, candidates are
+    tried in a fixed order — so a failing seed always shrinks to the same
+    reproducer. The schema is deliberately left untouched: dropping a
+    CREATE TABLE would make the replay fail for an unrelated reason and
+    fool the "still fails" test. *)
+
+module Ast = Openivm_sql.Ast
+
+type stats = {
+  attempts : int;  (** oracle evaluations performed *)
+  kept : int;      (** candidates accepted (strictly simpler, still failing) *)
+}
+
+(* --- SQL-level helpers --- *)
+
+let parse sql = Openivm_sql.Parser.parse_statement sql
+let render stmt = Openivm_sql.Pretty.stmt_to_sql Openivm_sql.Dialect.minidb stmt
+
+let map_stmt_exprs f stmt =
+  match stmt with
+  | Ast.Insert ({ source; _ } as r) ->
+    let source =
+      match source with
+      | Ast.Values rows -> Ast.Values (List.map (List.map (Ast.map_expr f)) rows)
+      | Ast.Query q -> Ast.Query q
+    in
+    Ast.Insert { r with source }
+  | Ast.Update ({ assignments; where; _ } as r) ->
+    Ast.Update
+      { r with
+        assignments = List.map (fun (c, e) -> (c, Ast.map_expr f e)) assignments;
+        where = Option.map (Ast.map_expr f) where }
+  | Ast.Delete ({ where; _ } as r) ->
+    Ast.Delete { r with where = Option.map (Ast.map_expr f) where }
+  | s -> s
+
+let count_literals sql =
+  match parse sql with
+  | exception _ -> 0
+  | stmt ->
+    let n = ref 0 in
+    ignore
+      (map_stmt_exprs
+         (fun e ->
+            (match e with
+             | Ast.Lit (Ast.L_int _ | Ast.L_string _) -> incr n
+             | _ -> ());
+            e)
+         stmt);
+    !n
+
+(** Simplify the [k]-th literal of the statement toward 0 / "a"; [None]
+    when it is already minimal (or out of range / unparseable). *)
+let simplify_literal_at sql k : string option =
+  match parse sql with
+  | exception _ -> None
+  | stmt ->
+    let idx = ref (-1) in
+    let changed = ref false in
+    let stmt' =
+      map_stmt_exprs
+        (fun e ->
+           match e with
+           | Ast.Lit (Ast.L_int n) ->
+             incr idx;
+             if !idx = k && n <> 0 then begin
+               changed := true;
+               Ast.Lit (Ast.L_int 0)
+             end
+             else e
+           | Ast.Lit (Ast.L_string s) ->
+             incr idx;
+             if !idx = k && s <> "a" then begin
+               changed := true;
+               Ast.Lit (Ast.L_string "a")
+             end
+             else e
+           | e -> e)
+        stmt
+    in
+    if !changed then Some (render stmt') else None
+
+(** Structurally smaller variants of a view definition, simplest first. *)
+let view_variants (sql : string) : string list =
+  match parse sql with
+  | exception _ -> []
+  | Ast.Create_view ({ query; _ } as cv) ->
+    let render_q q = render (Ast.Create_view { cv with query = q }) in
+    let no_where =
+      match query.Ast.where with
+      | Some _ -> [ render_q { query with Ast.where = None } ]
+      | None -> []
+    in
+    let aggregated = Ast.select_has_aggregate query in
+    let agg_count =
+      List.length
+        (List.filter
+           (fun (e, _) -> Ast.expr_contains_aggregate e)
+           query.Ast.projections)
+    in
+    let n = List.length query.Ast.projections in
+    let drops = ref [] in
+    List.iteri
+      (fun i (e, _) ->
+         let is_agg = Ast.expr_contains_aggregate e in
+         let allowed =
+           n > 1 && (not (aggregated && is_agg) || agg_count > 1)
+         in
+         if allowed then begin
+           let projections =
+             List.filteri (fun j _ -> j <> i) query.Ast.projections
+           in
+           let group_by =
+             if is_agg then query.Ast.group_by
+             else List.filter (fun g -> g <> e) query.Ast.group_by
+           in
+           drops :=
+             render_q { query with Ast.projections; group_by } :: !drops
+         end)
+      query.Ast.projections;
+    no_where @ List.rev !drops
+  | _ -> []
+
+(* --- list reduction (ddmin-style) --- *)
+
+let without_range xs i n =
+  List.filteri (fun j _ -> j < i || j >= i + n) xs
+
+(** Remove chunks of decreasing size while [test] keeps succeeding on the
+    reduced list. [test] is expected to commit accepted candidates. *)
+let reduce_list ~test xs =
+  let rec shrink chunk xs =
+    if chunk < 1 || xs = [] then xs
+    else begin
+      let rec pass i xs =
+        if i >= List.length xs then xs
+        else begin
+          let candidate = without_range xs i chunk in
+          if test candidate then pass i candidate else pass (i + chunk) xs
+        end
+      in
+      let xs' = pass 0 xs in
+      shrink (if chunk = 1 then 0 else max 1 (chunk / 2)) xs'
+    end
+  in
+  shrink (max 1 (List.length xs / 2)) xs
+
+(* --- the minimizer --- *)
+
+let minimize ?(max_passes = 6) ~(oracle : Case.t -> string option)
+    (case : Case.t) : Case.t * stats =
+  let attempts = ref 0 in
+  let kept = ref 0 in
+  let fails c =
+    incr attempts;
+    oracle c <> None
+  in
+  if not (fails case) then (case, { attempts = !attempts; kept = !kept })
+  else begin
+    let current = ref case in
+    let accept c =
+      if fails c then begin
+        incr kept;
+        current := c;
+        true
+      end
+      else false
+    in
+    let reduce get set =
+      ignore
+        (reduce_list
+           ~test:(fun ys -> accept (set !current ys))
+           (get !current))
+    in
+    let rec view_pass () =
+      match (!current).Case.view with
+      | None -> ()
+      | Some sql ->
+        if
+          List.exists
+            (fun v -> accept { !current with Case.view = Some v })
+            (view_variants sql)
+        then view_pass ()
+    in
+    let literal_pass get set =
+      let n_stmts = List.length (get !current) in
+      for j = 0 to n_stmts - 1 do
+        let total = count_literals (List.nth (get !current) j) in
+        for k = 0 to total - 1 do
+          let stmts = get !current in
+          match simplify_literal_at (List.nth stmts j) k with
+          | None -> ()
+          | Some stmt' ->
+            let stmts' =
+              List.mapi (fun i s -> if i = j then stmt' else s) stmts
+            in
+            ignore (accept (set !current stmts'))
+        done
+      done
+    in
+    let get_workload c = c.Case.workload in
+    let set_workload c ys = { c with Case.workload = ys } in
+    let get_setup c = c.Case.setup in
+    let set_setup c ys = { c with Case.setup = ys } in
+    let pass () =
+      let before = !current in
+      reduce get_workload set_workload;
+      reduce get_setup set_setup;
+      reduce (fun c -> c.Case.queries) (fun c ys -> { c with Case.queries = ys });
+      view_pass ();
+      literal_pass get_workload set_workload;
+      literal_pass get_setup set_setup;
+      before <> !current
+    in
+    let rec iterate n = if n > 0 && pass () then iterate (n - 1) in
+    iterate max_passes;
+    (!current, { attempts = !attempts; kept = !kept })
+  end

@@ -1,0 +1,21 @@
+(** Greedy, deterministic case minimizer: delta-debugging chunk removal
+    over workload / setup / query lists, WHERE and surplus
+    projection drops on the view definition, literal simplification
+    toward [0] / ['a']. A candidate is kept iff the oracle still reports
+    a failure on it. *)
+
+type stats = {
+  attempts : int;  (** oracle evaluations performed *)
+  kept : int;      (** candidates accepted (strictly simpler, still failing) *)
+}
+
+val minimize :
+  ?max_passes:int ->
+  oracle:(Case.t -> string option) ->
+  Case.t ->
+  Case.t * stats
+(** [minimize ~oracle case] returns the smallest still-failing case the
+    greedy search reaches, plus search statistics. If [case] does not
+    fail under [oracle] it is returned unchanged. [oracle] returns
+    [Some message] for failing cases — {!Oracle.first_failure} is the
+    production instance; tests may inject synthetic ones. *)

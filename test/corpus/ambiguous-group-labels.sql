@@ -1,0 +1,22 @@
+-- openivm-fuzz reproducer v1
+-- seed: 1874
+-- max-steps: 20
+-- strategies: all
+-- dialects: all
+-- note: two joined dims both expose a `label` column; grouping by both used to fail at install with "ambiguous column reference" because the planner dropped qualifiers when rewriting projections over the aggregate
+-- schema:
+CREATE TABLE fact(k2 INTEGER, k3 INTEGER, v1 INTEGER, v2 INTEGER)
+CREATE TABLE dim_k2(k2 INTEGER, label VARCHAR)
+CREATE TABLE dim_k3(k3 INTEGER, label VARCHAR)
+-- setup:
+INSERT INTO dim_k2 VALUES (0, 'a'), (1, 'b'), (2, 'c')
+INSERT INTO dim_k3 VALUES (0, 'x'), (1, 'y')
+INSERT INTO fact VALUES (0, 0, 5, 7)
+INSERT INTO fact VALUES (1, 1, 3, 2)
+INSERT INTO fact VALUES (2, 0, 9, 1)
+-- view:
+CREATE MATERIALIZED VIEW v AS SELECT dim_k2.label AS g1, dim_k3.label AS g2, SUM(fact.v1 + fact.v2) AS a1 FROM fact JOIN dim_k2 ON fact.k2 = dim_k2.k2 JOIN dim_k3 ON fact.k3 = dim_k3.k3 GROUP BY dim_k2.label, dim_k3.label
+-- workload:
+INSERT INTO fact VALUES (1, 0, 4, 4)
+DELETE FROM fact WHERE k2 = 0
+UPDATE fact SET v1 = v1 + 10 WHERE k3 = 1

@@ -1,0 +1,20 @@
+-- openivm-fuzz reproducer v1
+-- seed: 0
+-- max-steps: 5
+-- strategies: all
+-- dialects: all
+-- note: AVG decomposes into SUM/COUNT; NULL inputs must not count toward the divisor and an all-NULL group averages to NULL
+-- schema:
+CREATE TABLE fact(k1 VARCHAR, v1 INTEGER)
+-- setup:
+INSERT INTO fact VALUES ('a', 10)
+INSERT INTO fact VALUES ('a', 20)
+INSERT INTO fact VALUES ('b', NULL)
+-- view:
+CREATE MATERIALIZED VIEW v AS SELECT k1 AS g1, AVG(v1) AS m, COUNT(v1) AS c FROM fact GROUP BY k1
+-- workload:
+INSERT INTO fact VALUES ('a', NULL)
+UPDATE fact SET v1 = NULL WHERE v1 = 20
+DELETE FROM fact WHERE v1 = 10
+INSERT INTO fact VALUES ('b', 7)
+UPDATE fact SET v1 = v1 + 1 WHERE k1 = 'b'

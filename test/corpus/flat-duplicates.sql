@@ -1,0 +1,20 @@
+-- openivm-fuzz reproducer v1
+-- seed: 0
+-- max-steps: 5
+-- strategies: all
+-- dialects: all
+-- note: a flat (non-aggregate) view over duplicate rows exercises Z-set multiplicities — deleting one copy must leave the others visible
+-- schema:
+CREATE TABLE fact(k1 VARCHAR, v1 INTEGER)
+-- setup:
+INSERT INTO fact VALUES ('a', 1)
+INSERT INTO fact VALUES ('a', 1)
+INSERT INTO fact VALUES ('b', 2)
+-- view:
+CREATE MATERIALIZED VIEW v AS SELECT k1, v1 FROM fact WHERE v1 > 0
+-- workload:
+INSERT INTO fact VALUES ('a', 1)
+DELETE FROM fact WHERE k1 = 'b'
+INSERT INTO fact VALUES ('b', -5)
+UPDATE fact SET v1 = 3 WHERE k1 = 'b'
+DELETE FROM fact WHERE k1 = 'a' AND v1 = 1

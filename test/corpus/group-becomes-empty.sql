@@ -1,0 +1,19 @@
+-- openivm-fuzz reproducer v1
+-- seed: 0
+-- max-steps: 4
+-- strategies: all
+-- dialects: all
+-- note: a group whose rows are all deleted must disappear from the view (not linger as a zero-count tombstone), and re-inserting must bring it back
+-- schema:
+CREATE TABLE fact(k1 VARCHAR, v1 INTEGER)
+-- setup:
+INSERT INTO fact VALUES ('a', 1)
+INSERT INTO fact VALUES ('a', 2)
+INSERT INTO fact VALUES ('b', 3)
+-- view:
+CREATE MATERIALIZED VIEW v AS SELECT k1 AS g1, SUM(v1) AS s, COUNT(*) AS n FROM fact GROUP BY k1
+-- workload:
+DELETE FROM fact WHERE k1 = 'a'
+INSERT INTO fact VALUES ('a', 9)
+DELETE FROM fact WHERE k1 = 'b'
+DELETE FROM fact WHERE k1 = 'a'

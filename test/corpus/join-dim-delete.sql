@@ -1,0 +1,22 @@
+-- openivm-fuzz reproducer v1
+-- seed: 0
+-- max-steps: 5
+-- strategies: all
+-- dialects: all
+-- note: deltas on the dimension side of a join fan out to every matching fact row; deleting and re-inserting a dim row must retract and restore whole groups
+-- schema:
+CREATE TABLE fact(k2 INTEGER, v1 INTEGER)
+CREATE TABLE dim(k2 INTEGER, label VARCHAR)
+-- setup:
+INSERT INTO dim VALUES (0, 'x'), (1, 'y')
+INSERT INTO fact VALUES (0, 1)
+INSERT INTO fact VALUES (0, 2)
+INSERT INTO fact VALUES (1, 3)
+-- view:
+CREATE MATERIALIZED VIEW v AS SELECT dim.label AS g1, SUM(fact.v1) AS s, COUNT(*) AS n FROM fact JOIN dim ON fact.k2 = dim.k2 GROUP BY dim.label
+-- workload:
+DELETE FROM dim WHERE k2 = 0
+INSERT INTO fact VALUES (0, 10)
+INSERT INTO dim VALUES (0, 'z')
+UPDATE fact SET v1 = v1 + 1 WHERE k2 = 1
+DELETE FROM fact WHERE k2 = 1

@@ -1,0 +1,22 @@
+-- openivm-fuzz reproducer v1
+-- seed: 0
+-- max-steps: 6
+-- strategies: all
+-- dialects: all
+-- note: MIN/MAX must survive deleting the current extreme of a group (the non-invertible case that forces per-group recompute)
+-- schema:
+CREATE TABLE fact(k1 VARCHAR, v1 INTEGER)
+-- setup:
+INSERT INTO fact VALUES ('a', 10)
+INSERT INTO fact VALUES ('a', 20)
+INSERT INTO fact VALUES ('a', 30)
+INSERT INTO fact VALUES ('b', 5)
+-- view:
+CREATE MATERIALIZED VIEW v AS SELECT k1 AS g1, MIN(v1) AS lo, MAX(v1) AS hi FROM fact GROUP BY k1
+-- workload:
+DELETE FROM fact WHERE v1 = 30
+DELETE FROM fact WHERE v1 = 10
+INSERT INTO fact VALUES ('a', 1)
+DELETE FROM fact WHERE v1 = 1
+UPDATE fact SET v1 = v1 + 100 WHERE k1 = 'b'
+DELETE FROM fact WHERE k1 = 'b'

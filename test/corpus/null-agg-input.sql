@@ -1,0 +1,20 @@
+-- openivm-fuzz reproducer v1
+-- seed: 0
+-- max-steps: 5
+-- strategies: all
+-- dialects: all
+-- note: NULLs both as aggregate input (skipped by SUM/COUNT(col)) and as a group key (NULL is its own group)
+-- schema:
+CREATE TABLE fact(k1 VARCHAR, v1 INTEGER, v2 INTEGER)
+-- setup:
+INSERT INTO fact VALUES (NULL, 1, NULL)
+INSERT INTO fact VALUES ('a', NULL, 2)
+INSERT INTO fact VALUES ('a', 3, NULL)
+-- view:
+CREATE MATERIALIZED VIEW v AS SELECT k1 AS g1, SUM(v1) AS s, COUNT(v2) AS c2, COUNT(*) AS n FROM fact GROUP BY k1
+-- workload:
+INSERT INTO fact VALUES (NULL, NULL, NULL)
+UPDATE fact SET v1 = NULL WHERE k1 = 'a'
+INSERT INTO fact VALUES ('b', 4, 4)
+DELETE FROM fact WHERE k1 IS NULL
+UPDATE fact SET v2 = 8 WHERE v2 IS NULL

@@ -24,6 +24,7 @@ let () =
       ("golden-sql", Test_golden_sql.suite);
       ("runner", Test_runner.suite);
       ("random-views", Test_random_views.suite);
+      ("fuzz", Test_fuzz.suite);
       ("htap", Test_htap.suite);
       ("portability", Test_portability.suite);
       ("csv", Test_csv.suite);

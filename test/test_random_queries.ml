@@ -1,95 +1,25 @@
-(** Query fuzzing: generate random SELECTs from a grammar and check two
-    engine invariants on each —
+(** Query fuzzing: random SELECTs checked for two engine invariants —
     (1) the optimizer preserves results (optimized ≡ unoptimized), and
     (2) emitted SQL round-trips: print → parse → execute gives the same
-        rows as the original. *)
+        rows as the original.
+    Since PR 3 the query grammar and both checks live in [Openivm_fuzz];
+    each test here is one query-only generated case (12 SELECTs over a
+    random schema, setup and workload). *)
 
-open Openivm_engine
-
-let schema =
-  [ "CREATE TABLE r(a INTEGER, b INTEGER, s VARCHAR)";
-    "CREATE TABLE q(a INTEGER, c INTEGER)";
-    "CREATE INDEX idx_r_a ON r(a)" ]
-
-let populate db rng =
-  let r = Catalog.find_table (Database.catalog db) "r" in
-  let q = Catalog.find_table (Database.catalog db) "q" in
-  Trigger.without_hooks (Database.triggers db) (fun () ->
-      for _ = 1 to 60 do
-        Table.insert r
-          [| (if Random.State.int rng 8 = 0 then Value.Null
-              else Value.Int (Random.State.int rng 6));
-             (if Random.State.int rng 8 = 0 then Value.Null
-              else Value.Int (Random.State.int rng 40));
-             Value.Str (Printf.sprintf "s%d" (Random.State.int rng 4)) |]
-      done;
-      for _ = 1 to 25 do
-        Table.insert q
-          [| Value.Int (Random.State.int rng 6);
-             Value.Int (Random.State.int rng 40) |]
-      done)
-
-(* --- the query grammar --- *)
-
-let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
-
-let scalar_exprs = [ "r.a"; "r.b"; "r.a + 1"; "r.b % 5"; "r.s" ]
-let predicates =
-  [ "r.b > 10"; "r.a = 2"; "r.s <> 's1'"; "r.b BETWEEN 5 AND 30";
-    "r.a IS NOT NULL"; "r.s LIKE 's%'"; "r.a IN (1, 2, 3)";
-    "1 = 1 AND r.b >= 0"; "r.a IN (SELECT a FROM q WHERE c > 10)" ]
-
-let aggregates = [ "COUNT(*)"; "SUM(r.b)"; "MIN(r.b)"; "MAX(r.a)"; "AVG(r.b)"; "COUNT(r.a)" ]
-
-let random_query rng : string =
-  let joined = Random.State.int rng 3 = 0 in
-  let from =
-    if joined then "r JOIN q ON r.a = q.a" else "r"
-  in
-  let where =
-    if Random.State.bool rng then " WHERE " ^ pick rng predicates else ""
-  in
-  let grouped = Random.State.bool rng in
-  if grouped then begin
-    let key = pick rng [ "r.a"; "r.s"; "r.b % 3" ] in
-    let agg1 = pick rng aggregates in
-    let agg2 = pick rng aggregates in
-    let having =
-      if Random.State.int rng 3 = 0 then " HAVING COUNT(*) > 1" else ""
-    in
-    Printf.sprintf "SELECT %s AS k, %s AS x, %s AS y FROM %s%s GROUP BY %s%s"
-      key agg1 agg2 from where key having
-  end
-  else begin
-    let p1 = pick rng scalar_exprs in
-    let p2 = pick rng scalar_exprs in
-    let distinct = if Random.State.int rng 4 = 0 then "DISTINCT " else "" in
-    Printf.sprintf "SELECT %s%s AS x, %s AS y FROM %s%s" distinct p1 p2 from
-      where
-  end
+module F = Openivm_fuzz
 
 let run_case seed () =
-  let rng = Random.State.make [| seed |] in
-  let db = Util.db_with schema in
-  populate db rng;
-  for _ = 1 to 12 do
-    let sql = random_query rng in
-    (* (1) optimizer preservation *)
-    let optimized = Util.sorted_rows db sql in
-    db.Database.optimizer_enabled <- false;
-    let plain = Util.sorted_rows db sql in
-    db.Database.optimizer_enabled <- true;
-    Alcotest.(check (list string)) ("optimizer: " ^ sql) plain optimized;
-    (* (2) print/parse/execute round-trip *)
-    let reprinted =
-      Openivm_sql.Pretty.stmt_to_sql Openivm_sql.Dialect.minidb
-        (Openivm_sql.Parser.parse_statement sql)
-    in
-    Alcotest.(check (list string)) ("roundtrip: " ^ sql) optimized
-      (Util.sorted_rows db reprinted)
-  done
+  let case = F.Gen.case ~seed ~with_view:false ~queries:12 () in
+  let outcome = F.Oracle.run case in
+  (match outcome.F.Oracle.failure with
+   | Some f -> Alcotest.fail f.F.Oracle.message
+   | None -> ());
+  if outcome.F.Oracle.checks < 24 then
+    Alcotest.failf "case #%d ran only %d checks (want 2 per query)" seed
+      outcome.F.Oracle.checks
 
 let suite =
   List.map
-    (fun seed -> Util.tc (Printf.sprintf "random queries #%d" seed) (run_case seed))
+    (fun seed ->
+       Util.tc (Printf.sprintf "random queries #%d" seed) (run_case seed))
     [ 101; 102; 103; 104; 105; 106; 107; 108; 109; 110 ]

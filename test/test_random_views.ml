@@ -1,134 +1,24 @@
-(** Meta property test: generate random *view definitions* from a small
-    grammar (source shape × group keys × aggregate set × optional filter),
-    then drive each through a random workload under every combine strategy,
-    checking view ≡ recompute after every refresh. This covers the cross
-    product of template paths no hand-written scenario list reaches. *)
+(** Meta property test: random *view definitions* driven through random
+    workloads, checking view ≡ recompute after every refresh. Since PR 3
+    the grammar and the differential check live in [Openivm_fuzz]; each
+    test here is one generated case pinned to a single combine strategy,
+    so a red test names both the seed and the strategy that broke. *)
 
-
-let schema =
-  [ "CREATE TABLE fact(k1 VARCHAR, k2 INTEGER, v1 INTEGER, v2 INTEGER)";
-    "CREATE TABLE dim(k2 INTEGER, label VARCHAR)" ]
-
-(* --- view grammar --- *)
-
-type view_config = {
-  joined : bool;
-  group_keys : string list;     (** qualified column names *)
-  aggs : (string * string) list;  (** (SQL aggregate expr, alias) *)
-  where : string option;
-}
-
-let render (c : view_config) : string =
-  let projections =
-    List.map (fun k -> Printf.sprintf "%s AS g_%s" k
-                 (String.map (function '.' -> '_' | ch -> ch) k))
-      c.group_keys
-    @ List.map (fun (e, a) -> Printf.sprintf "%s AS %s" e a) c.aggs
-  in
-  let from =
-    if c.joined then "fact JOIN dim ON fact.k2 = dim.k2" else "fact"
-  in
-  let where = match c.where with Some w -> " WHERE " ^ w | None -> "" in
-  let group =
-    if c.group_keys = [] then ""
-    else " GROUP BY " ^ String.concat ", " c.group_keys
-  in
-  Printf.sprintf "CREATE MATERIALIZED VIEW v AS SELECT %s FROM %s%s%s"
-    (String.concat ", " projections)
-    from where group
-
-let random_config rng : view_config =
-  let joined = Random.State.bool rng in
-  let key_pool =
-    if joined then [ "fact.k1"; "dim.label"; "fact.k2" ]
-    else [ "k1"; "k2" ]
-  in
-  let group_keys =
-    List.filter (fun _ -> Random.State.int rng 3 > 0) key_pool
-  in
-  let value_col = if joined then "fact.v1" else "v1" in
-  let value_col2 = if joined then "fact.v2" else "v2" in
-  let agg_pool =
-    [ (Printf.sprintf "SUM(%s)" value_col, "s1");
-      (Printf.sprintf "COUNT(*)", "n");
-      (Printf.sprintf "COUNT(%s)" value_col2, "c2");
-      (Printf.sprintf "MIN(%s)" value_col, "lo");
-      (Printf.sprintf "MAX(%s)" value_col2, "hi");
-      (Printf.sprintf "AVG(%s)" value_col, "m") ]
-  in
-  let aggs = List.filter (fun _ -> Random.State.int rng 3 = 0) agg_pool in
-  (* flat views need at least one projection; aggregate views always get
-     one aggregate to stay in the aggregate class when keys are empty *)
-  let aggs =
-    if aggs = [] && (group_keys = [] || Random.State.bool rng) then
-      [ (Printf.sprintf "SUM(%s)" value_col, "s1") ]
-    else aggs
-  in
-  let group_keys =
-    if group_keys = [] && aggs = [] then [ List.hd key_pool ] else group_keys
-  in
-  let where =
-    match Random.State.int rng 3 with
-    | 0 -> Some (Printf.sprintf "%s > %d" value_col (Random.State.int rng 40))
-    | 1 when joined -> Some "fact.v2 % 2 = 0"
-    | _ -> None
-  in
-  { joined; group_keys; aggs; where }
-
-(* --- workload --- *)
-
-let random_dml rng =
-  match Random.State.int rng 10 with
-  | 0 | 1 | 2 | 3 ->
-    Printf.sprintf "INSERT INTO fact VALUES ('%c', %d, %d, %d)"
-      (Char.chr (Char.code 'a' + Random.State.int rng 3))
-      (Random.State.int rng 4)
-      (Random.State.int rng 80)
-      (Random.State.int rng 80)
-  | 4 ->
-    Printf.sprintf "INSERT INTO fact VALUES (NULL, %d, NULL, %d)"
-      (Random.State.int rng 4)
-      (Random.State.int rng 80)
-  | 5 ->
-    Printf.sprintf "INSERT INTO dim VALUES (%d, 'L%d')"
-      (Random.State.int rng 4)
-      (Random.State.int rng 2)
-  | 6 ->
-    Printf.sprintf "DELETE FROM fact WHERE k2 = %d AND v1 %% 3 = %d"
-      (Random.State.int rng 4)
-      (Random.State.int rng 3)
-  | 7 ->
-    Printf.sprintf "UPDATE fact SET v1 = v1 + %d WHERE k2 = %d"
-      (1 + Random.State.int rng 9)
-      (Random.State.int rng 4)
-  | 8 -> Printf.sprintf "DELETE FROM dim WHERE k2 = %d" (Random.State.int rng 4)
-  | _ ->
-    Printf.sprintf "UPDATE fact SET v2 = NULL WHERE k2 = %d AND v2 > 60"
-      (Random.State.int rng 4)
+module F = Openivm_fuzz
 
 let run_config ~seed ~strategy () =
-  let rng = Random.State.make [| seed |] in
-  let config = random_config rng in
-  let view_sql = render config in
-  let db = Util.db_with schema in
-  for _ = 1 to 15 do
-    Util.exec db (random_dml rng)
-  done;
-  let flags = { Openivm.Flags.default with strategy } in
-  match Openivm.Runner.install ~flags db view_sql with
-  | exception Openivm.Compiler.Unsupported_view reason ->
-    Alcotest.failf "generated an unsupported view (%s): %s" reason view_sql
-  | v ->
-    Util.check_view_consistent ~msg:("initial: " ^ view_sql) db v;
-    for round = 1 to 5 do
-      for _ = 1 to 8 do
-        Util.exec db (random_dml rng)
-      done;
-      Openivm.Runner.refresh v;
-      Util.check_view_consistent
-        ~msg:(Printf.sprintf "round %d: %s" round view_sql)
-        db v
-    done
+  let case = F.Gen.case ~seed ~queries:0 () in
+  let case =
+    { case with
+      F.Case.strategies = [ strategy ];
+      dialects = [ Openivm_sql.Dialect.duckdb ] }
+  in
+  let outcome = F.Oracle.run case in
+  (match outcome.F.Oracle.failure with
+   | Some f -> Alcotest.fail f.F.Oracle.message
+   | None -> ());
+  if outcome.F.Oracle.checks = 0 then
+    Alcotest.failf "case #%d ran no checks" seed
 
 let suite =
   List.concat_map

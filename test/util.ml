@@ -26,43 +26,14 @@ let check_scalar ?(msg = "scalar") db sql expected =
 
 let exec db sql = ignore (Database.exec db sql)
 
-(** The view's visible contents, sorted row strings. Hidden bookkeeping
-    columns are stripped; flat (non-aggregate) views materialize in
-    weighted form, so their rows are expanded by the hidden row count to
-    recover bag semantics. *)
+(** The view's visible contents, sorted row strings (see
+    {!Openivm.Runner.visible_rows}). *)
 let view_visible (v : Openivm.Runner.view) : string list =
-  let shape = v.Openivm.Runner.compiled.Openivm.Compiler.shape in
-  let visible = Openivm.Shape.visible_names shape in
-  let flat = not (Openivm.Shape.has_aggregates shape) in
-  let cols =
-    if flat then visible @ [ Openivm.Shape.count_column ] else visible
-  in
-  let r =
-    Openivm.Runner.query v
-      (Printf.sprintf "SELECT %s FROM %s"
-         (String.concat ", " cols)
-         (Openivm.Runner.view_name v))
-  in
-  let rows =
-    if flat then
-      List.concat_map
-        (fun (row : Row.t) ->
-           let n = Array.length row - 1 in
-           let weight =
-             match row.(n) with Value.Int w -> w | _ -> 1
-           in
-           let visible_part = Array.sub row 0 n in
-           List.init weight (fun _ -> Row.to_string visible_part))
-        r.Database.rows
-    else rows_of r
-  in
-  List.sort String.compare rows
+  Openivm.Runner.visible_rows v
 
 (** Reference: rerun the defining query from scratch. *)
-let view_reference (db : Database.t) (v : Openivm.Runner.view) : string list =
-  let q = v.Openivm.Runner.compiled.Openivm.Compiler.shape.Openivm.Shape.query in
-  let sql = Openivm_sql.Pretty.select_to_sql Openivm_sql.Dialect.minidb q in
-  List.sort String.compare (rows_of (Database.query db sql))
+let view_reference (_db : Database.t) (v : Openivm.Runner.view) : string list =
+  Openivm.Runner.recompute_rows v
 
 let check_view_consistent ?(msg = "view = recompute") db v =
   Alcotest.(check (list string)) msg (view_reference db v) (view_visible v)
