@@ -7,6 +7,12 @@
           cross-system with IVM / cross-system without IVM
     - E4  combine-strategy and refresh-granularity ablations
     - E5  compiler latency per view class
+    - the refresh benchmark (paper Figure 4): strategy × view-shape
+      propagation medians, emitted as machine-readable JSON (--out,
+      default BENCH_refresh.json) with a built-in correctness gate —
+      the run exits nonzero naming any view whose maintained contents
+      diverge from a full recompute. `--refresh-only` (with `--reps N`)
+      runs just this part; the `@bench` alias does so at small scale.
 
     Each experiment prints a table of the same series the paper's demo
     reports; `--micro` additionally runs one Bechamel micro-benchmark per
@@ -533,6 +539,205 @@ let e5 () =
     e5_views;
   Report.print report
 
+(* --- the refresh benchmark: strategy × view-shape medians → JSON ---
+
+   Regenerates the paper's Figure-4 comparison on the Minidb substrate:
+   median propagation latency per (view shape × combine strategy), the
+   full_recompute column doubling as the non-IVM baseline. Every
+   benchmarked view is also checked against a full recompute of its
+   defining query after the timed reps; any divergence prints the failing
+   view and fails the whole run — a benchmark that measured a wrong
+   answer is not a benchmark. Results land in --out (BENCH_refresh.json)
+   for EXPERIMENTS.md to reference. *)
+
+let refresh_out = ref "BENCH_refresh.json"
+let refresh_reps = ref 5
+let refresh_only = ref false
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then nan
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+type refresh_shape = {
+  shape_name : string;
+  shape_view : string;
+  shape_setup : Database.t -> Datagen.t -> unit;
+  shape_delta : Database.t -> Datagen.t -> unit;
+}
+
+let refresh_sizes () =
+  match !scale with
+  | `Small -> (2_000, 100)
+  | `Medium -> (20_000, 500)
+  | `Full -> (100_000, 2_000)
+
+let refresh_shapes () =
+  let base, delta = refresh_sizes () in
+  let domain = max 100 (base / 20) in
+  let groups_setup db gen =
+    ignore (Database.exec db Datagen.groups_ddl);
+    Datagen.populate_groups ~domain db gen ~rows:base
+  in
+  let groups_delta db gen =
+    Datagen.apply_groups_delta db
+      (Datagen.groups_delta_rows ~domain gen ~rows:delta)
+  in
+  let groups name view =
+    { shape_name = name;
+      shape_view = "CREATE MATERIALIZED VIEW bench_v AS " ^ view;
+      shape_setup = groups_setup; shape_delta = groups_delta }
+  in
+  let customers = max 50 (base / 40) in
+  let join_setup db gen =
+    ignore (Database.exec db Datagen.sales_ddl);
+    ignore (Database.exec db Datagen.customers_ddl);
+    Datagen.populate_customers db gen ~customers;
+    Datagen.populate_sales ~customers db gen ~rows:base
+  in
+  let join_delta db gen =
+    let values =
+      String.concat ", "
+        (List.init delta (fun i ->
+             Printf.sprintf "(%d, %d, 'item%03d', %d)"
+               (1_000_000 + i)
+               (Datagen.uniform gen customers)
+               (Datagen.uniform gen 500)
+               (Datagen.uniform gen 10_000)))
+    in
+    ignore (Database.exec db ("INSERT INTO sales VALUES " ^ values));
+    ignore
+      (Database.exec db
+         (Printf.sprintf "DELETE FROM sales WHERE cust = %d AND amount %% 97 = %d"
+            (Datagen.uniform gen customers) (Datagen.uniform gen 97)))
+  in
+  [ groups "projection" "SELECT group_index, group_value FROM groups";
+    groups "filter"
+      "SELECT group_index, group_value FROM groups WHERE group_value > 500";
+    groups "sum_count_group"
+      "SELECT group_index, SUM(group_value) AS total_value, COUNT(*) AS n \
+       FROM groups GROUP BY group_index";
+    groups "min_max_group"
+      "SELECT group_index, MIN(group_value) AS lo, MAX(group_value) AS hi \
+       FROM groups GROUP BY group_index";
+    groups "global_agg"
+      "SELECT SUM(group_value) AS total, COUNT(*) AS n FROM groups";
+    { shape_name = "join_agg";
+      shape_view =
+        "CREATE MATERIALIZED VIEW bench_v AS SELECT customers.region, \
+         SUM(sales.amount) AS total FROM sales JOIN customers ON sales.cust \
+         = customers.cust GROUP BY customers.region";
+      shape_setup = join_setup; shape_delta = join_delta } ]
+
+let refresh_strategies =
+  [ Openivm.Flags.Upsert_linear; Openivm.Flags.Union_regroup;
+    Openivm.Flags.Outer_join_merge; Openivm.Flags.Rederive_affected;
+    Openivm.Flags.Full_recompute ]
+
+type refresh_result = {
+  r_shape : string;
+  r_strategy : string;
+  r_median : float;
+  r_min : float;
+  r_max : float;
+  r_converged : bool;
+}
+
+let refresh_json results =
+  let base, delta = refresh_sizes () in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"benchmark\": \"refresh\",\n";
+  Printf.bprintf b "  \"scale\": \"%s\",\n"
+    (match !scale with `Small -> "small" | `Medium -> "medium" | `Full -> "full");
+  Printf.bprintf b "  \"reps\": %d,\n" (max 1 !refresh_reps);
+  Printf.bprintf b "  \"base_rows\": %d,\n" base;
+  Printf.bprintf b "  \"delta_rows\": %d,\n" delta;
+  Buffer.add_string b "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+       Printf.bprintf b
+         "    {\"shape\": %S, \"strategy\": %S, \"median_seconds\": %.9f, \
+          \"min_seconds\": %.9f, \"max_seconds\": %.9f, \"converged\": %b}%s\n"
+         r.r_shape r.r_strategy r.r_median r.r_min r.r_max r.r_converged
+         (if i = List.length results - 1 then "" else ","))
+    results;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let refresh_bench () =
+  let base, delta = refresh_sizes () in
+  let reps = max 1 !refresh_reps in
+  let table =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "Refresh latency: median of %d propagation(s), %d base rows, %d \
+            delta rows per rep"
+           reps base delta)
+      ~headers:
+        ("view shape"
+         :: List.map Openivm.Flags.strategy_to_string refresh_strategies)
+  in
+  let results = ref [] in
+  let diverged = ref [] in
+  List.iter
+    (fun sh ->
+       let cells =
+         List.map
+           (fun strategy ->
+              let db = Database.create () in
+              let gen = Datagen.create ~seed:99 () in
+              sh.shape_setup db gen;
+              let flags = { Openivm.Flags.default with strategy } in
+              match Openivm.Runner.install ~flags db sh.shape_view with
+              | exception Openivm.Compiler.Unsupported_view _ -> "n/a"
+              | v ->
+                let times =
+                  List.init reps (fun _ ->
+                      sh.shape_delta db gen;
+                      Timer.time_unit (fun () ->
+                          Openivm.Runner.force_refresh v))
+                in
+                let converged =
+                  Openivm.Runner.visible_rows v
+                  = Openivm.Runner.recompute_rows v
+                in
+                let name = Openivm.Flags.strategy_to_string strategy in
+                if not converged then
+                  diverged := (sh.shape_name, name) :: !diverged;
+                results :=
+                  { r_shape = sh.shape_name; r_strategy = name;
+                    r_median = median times;
+                    r_min = List.fold_left min infinity times;
+                    r_max = List.fold_left max neg_infinity times;
+                    r_converged = converged }
+                  :: !results;
+                Timer.pp_duration (median times))
+           refresh_strategies
+       in
+       Report.add_row table (sh.shape_name :: cells))
+    (refresh_shapes ());
+  Report.print table;
+  let results = List.rev !results in
+  let oc = open_out !refresh_out in
+  output_string oc (refresh_json results);
+  close_out oc;
+  Printf.printf "wrote %s (%d measurements)\n" !refresh_out
+    (List.length results);
+  if !diverged <> [] then begin
+    List.iter
+      (fun (shape, strategy) ->
+         Printf.eprintf
+           "BENCH DIVERGENCE: view %s under %s disagrees with full recompute\n"
+           shape strategy)
+      (List.rev !diverged);
+    exit 1
+  end
+
 (* --- Bechamel micro-benchmarks: one Test.make per experiment table --- *)
 
 let micro () =
@@ -624,23 +829,42 @@ let micro () =
 (* --- driver --- *)
 
 let () =
-  Array.iter
-    (function
-      | "--small" -> scale := `Small
-      | "--full" -> scale := `Full
-      | "--micro" -> run_micro := true
-      | _ -> ())
-    Sys.argv;
+  let argv = Sys.argv in
+  let i = ref 1 in
+  while !i < Array.length argv do
+    (match argv.(!i) with
+     | "--small" -> scale := `Small
+     | "--full" -> scale := `Full
+     | "--micro" -> run_micro := true
+     | "--refresh-only" -> refresh_only := true
+     | "--reps" when !i + 1 < Array.length argv ->
+       incr i;
+       refresh_reps := int_of_string argv.(!i)
+     | "--out" when !i + 1 < Array.length argv ->
+       incr i;
+       refresh_out := argv.(!i)
+     | arg ->
+       Printf.eprintf
+         "unknown option %s (use --small/--full, --micro, --refresh-only, \
+          --reps N, --out FILE)\n"
+         arg;
+       exit 2);
+    incr i
+  done;
   Printf.printf
     "OpenIVM benchmark harness (scale: %s)\n\
      Substrate: Minidb engine — shapes, not absolute numbers, are the \
      reproduction target.\n\n"
     (match !scale with `Small -> "small" | `Medium -> "medium" | `Full -> "full");
-  e1 ();
-  e1b ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e4c ();
-  e5 ();
-  if !run_micro then micro ()
+  if !refresh_only then refresh_bench ()
+  else begin
+    e1 ();
+    e1b ();
+    e2 ();
+    e3 ();
+    e4 ();
+    e4c ();
+    e5 ();
+    refresh_bench ();
+    if !run_micro then micro ()
+  end

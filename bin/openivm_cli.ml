@@ -36,6 +36,43 @@ let dialect_of_string s =
   | Some d -> Ok d
   | None -> Error (Printf.sprintf "unknown dialect %S" s)
 
+(* --- observability: the shared --trace flag --- *)
+
+module Obs = Openivm_obs
+
+let trace_format = function
+  | None -> Ok None
+  | Some "text" -> Ok (Some `Text)
+  | Some "json" -> Ok (Some `Json)
+  | Some ("prom" | "prometheus") -> Ok (Some `Prometheus)
+  | Some f ->
+    Error
+      (Printf.sprintf "unknown trace format %S (use text, json or prometheus)"
+         f)
+
+(** Run [f] with span collection on and dump the report to stderr when it
+    returns — even on failure, so a crashing refresh still shows where the
+    time went. *)
+let with_trace trace f =
+  match trace_format trace with
+  | Error msg -> Error msg
+  | Ok None -> f ()
+  | Ok (Some fmt) ->
+    Obs.Report.reset_all ();
+    Obs.Span.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+          Obs.Span.set_enabled false;
+          prerr_endline (Obs.Report.render fmt))
+      f
+
+let trace_arg =
+  Arg.(value & opt ~vopt:(Some "text") (some string) None
+       & info [ "trace" ] ~docv:"FMT"
+         ~doc:"Collect tracing spans and metrics during the run and print \
+               the report to stderr on exit. $(docv) is text (default), \
+               json or prometheus.")
+
 let compile_action schema schema_file view view_file dialect strategy
     paper_compat eager no_indexes advise expected_delta =
   let ( let* ) = Result.bind in
@@ -214,8 +251,9 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc ~man)
     Term.(
-      const (fun a b c d -> check_exit (check_action a b c d))
-      $ check_file_arg $ format_arg $ schema_arg $ schema_file_arg)
+      const (fun a b c d tr ->
+          check_exit (with_trace tr (fun () -> check_action a b c d)))
+      $ check_file_arg $ format_arg $ schema_arg $ schema_file_arg $ trace_arg)
 
 (* --- the htap subcommand: cross-system pipeline under (optional) chaos --- *)
 
@@ -301,6 +339,7 @@ let htap_action transactions seed chaos drop dup reorder corrupt crash
       s.Pipeline.replica_misses;
     Printf.printf "recover: replayed %d batch(es)%s\n" r.Pipeline.replayed
       (if r.Pipeline.resynced then ", then full resync" else "");
+    List.iter print_endline (Pipeline.pp_phases r);
     if r.Pipeline.converged then begin
       print_endline
         "converged: view = replica fold = full recompute over OLTP state";
@@ -360,11 +399,12 @@ let htap_cmd =
   Cmd.v
     (Cmd.info "htap" ~doc)
     Term.(
-      const (fun a b c d e f g h i j k ->
-          to_exit (htap_action a b c d e f g h i j k))
+      const (fun a b c d e f g h i j k tr ->
+          to_exit
+            (with_trace tr (fun () -> htap_action a b c d e f g h i j k)))
       $ transactions_arg $ tx_seed_arg $ chaos_arg $ drop_arg $ dup_arg
       $ reorder_arg $ corrupt_arg $ crash_arg $ fault_seed_arg
-      $ sync_every_arg $ strict_replica_arg)
+      $ sync_every_arg $ strict_replica_arg $ trace_arg)
 
 (* --- the fuzz subcommand: differential fuzzing of the whole pipeline --- *)
 
@@ -475,25 +515,139 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc ~man)
     Term.(
-      const (fun a b c d e f g h -> to_exit (fuzz_action a b c d e f g h))
+      const (fun a b c d e f g h tr ->
+          to_exit (with_trace tr (fun () -> fuzz_action a b c d e f g h)))
       $ fuzz_seed_arg $ fuzz_cases_arg $ fuzz_max_steps_arg
       $ fuzz_strategy_arg $ fuzz_dialect_arg $ fuzz_corpus_arg
-      $ fuzz_replay_arg $ fuzz_no_shrink_arg)
+      $ fuzz_replay_arg $ fuzz_no_shrink_arg $ trace_arg)
+
+(* --- the stats subcommand: profiled refresh, "EXPLAIN ANALYZE for IVM" --- *)
+
+let stats_action script_file format strategy rows deltas batches =
+  let ( let* ) = Result.bind in
+  let* fmt =
+    match trace_format (Some format) with
+    | Ok (Some f) -> Ok f
+    | Ok None | Error _ ->
+      Error
+        (Printf.sprintf
+           "unknown format %S (use text, json or prometheus)" format)
+  in
+  let* strategy = strategy_of_string strategy in
+  let flags = { Openivm.Flags.default with strategy } in
+  Obs.Report.reset_all ();
+  Obs.Span.set_enabled true;
+  let db = Database.create () in
+  let* () =
+    Fun.protect
+      ~finally:(fun () -> Obs.Span.set_enabled false)
+      (fun () ->
+         try
+           (match script_file with
+            | Some path ->
+              let src = read_file path in
+              let stmts = Openivm_sql.Parser.parse_script src in
+              let ext = Openivm.Runner.load ~flags db in
+              List.iter
+                (fun stmt ->
+                   let sql =
+                     Openivm_sql.Pretty.stmt_to_sql Openivm_sql.Dialect.minidb
+                       stmt
+                   in
+                   ignore (Openivm.Runner.exec_ext ext sql))
+                stmts;
+              List.iter Openivm.Runner.force_refresh
+                ext.Openivm.Runner.ext_views
+            | None ->
+              (* built-in demo: the paper's groups view, N delta batches *)
+              let module W = Openivm_workload.Datagen in
+              ignore (Database.exec db W.groups_ddl);
+              let gen = W.create ~seed:7 () in
+              W.populate_groups db gen ~rows;
+              let v =
+                Openivm.Runner.install ~flags db
+                  "CREATE MATERIALIZED VIEW group_totals AS SELECT \
+                   group_index, SUM(group_value) AS total_value, COUNT(*) AS \
+                   n FROM groups GROUP BY group_index"
+              in
+              for _ = 1 to batches do
+                W.apply_groups_delta db (W.groups_delta_rows gen ~rows:deltas);
+                Openivm.Runner.force_refresh v
+              done);
+           Ok ()
+         with
+         | Error.Sql_error msg -> Error msg
+         | Openivm.Compiler.Unsupported_view reason ->
+           Error ("unsupported view: " ^ reason)
+         | Openivm_sql.Parser.Error (msg, pos)
+         | Openivm_sql.Lexer.Error (msg, pos) ->
+           Error (Printf.sprintf "parse error at byte %d: %s" pos msg))
+  in
+  print_endline (Obs.Report.render fmt);
+  Ok ()
+
+let stats_script_arg =
+  Arg.(value & opt (some file) None & info [ "script" ] ~docv:"FILE"
+         ~doc:"SQL script to profile instead of the built-in demo. \
+               Statements run through the IVM extension: CREATE MATERIALIZED \
+               VIEW installs a maintained view, SELECTs over it refresh it \
+               lazily, and every installed view is force-refreshed at the \
+               end.")
+
+let stats_format_arg =
+  Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT"
+         ~doc:"Report format: text (span tree + metrics table), json (JSON \
+               lines) or prometheus.")
+
+let stats_rows_arg =
+  Arg.(value & opt int 2000 & info [ "rows" ] ~docv:"N"
+         ~doc:"Initial rows in the demo's groups table.")
+
+let stats_deltas_arg =
+  Arg.(value & opt int 200 & info [ "deltas" ] ~docv:"N"
+         ~doc:"Delta rows per refresh batch in the demo.")
+
+let stats_batches_arg =
+  Arg.(value & opt int 3 & info [ "batches" ] ~docv:"N"
+         ~doc:"Delta/refresh rounds in the demo.")
+
+let stats_cmd =
+  let doc = "profile an IVM refresh: span tree and metrics" in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Runs a workload with tracing enabled and prints the observability \
+          report: a span tree showing where refresh time went (per \
+          propagation step, with statement counts and rows read/written) \
+          and the metrics registry (operator row counts, deltas folded, \
+          per-strategy refresh latency histograms).";
+      `P "With $(b,--script) $(i,FILE) the script's statements run through \
+          the IVM extension; otherwise a built-in demo populates the \
+          paper's groups table with $(b,--rows) rows and folds \
+          $(b,--batches) rounds of $(b,--deltas) changes each under the \
+          chosen $(b,--strategy)." ]
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc ~man)
+    Term.(
+      const (fun a b c d e f -> to_exit (stats_action a b c d e f))
+      $ stats_script_arg $ stats_format_arg $ strategy_arg $ stats_rows_arg
+      $ stats_deltas_arg $ stats_batches_arg)
 
 let compile_cmd =
   let doc = "compile a materialized view definition into IVM SQL" in
   Cmd.v
     (Cmd.info "compile" ~doc)
     Term.(
-      const (fun a b c d e f g h i j k ->
-          to_exit (compile_action a b c d e f g h i j k))
+      const (fun a b c d e f g h i j k tr ->
+          to_exit
+            (with_trace tr (fun () -> compile_action a b c d e f g h i j k)))
       $ schema_arg $ schema_file_arg $ view_arg $ view_file_arg $ dialect_arg
       $ strategy_arg $ paper_arg $ eager_arg $ no_indexes_arg $ advise_arg
-      $ expected_delta_arg)
+      $ expected_delta_arg $ trace_arg)
 
 let main_cmd =
   let doc = "OpenIVM: a SQL-to-SQL compiler for incremental computations" in
   Cmd.group (Cmd.info "openivm" ~version:"1.0.0" ~doc)
-    [ compile_cmd; check_cmd; fuzz_cmd; htap_cmd ]
+    [ compile_cmd; check_cmd; stats_cmd; fuzz_cmd; htap_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

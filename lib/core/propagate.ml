@@ -24,6 +24,14 @@ type plan_kind =
   | Rederive        (** delete + recompute affected groups *)
   | Full            (** recompute the whole view (baseline) *)
 
+let kind_to_string = function
+  | Linear -> "linear"
+  | Regroup -> "regroup"
+  | Outer_merge -> "outer_merge"
+  | Global_linear -> "global_linear"
+  | Rederive -> "rederive"
+  | Full -> "full"
+
 let plan_kind (flags : Flags.t) (shape : Shape.t) : plan_kind =
   match flags.Flags.strategy with
   | Flags.Full_recompute -> Full

@@ -18,6 +18,8 @@ val plan_kind : Flags.t -> Shape.t -> plan_kind
 (** Strategy resolution, including the MIN/MAX → Rederive and
     global-aggregate special cases. *)
 
+val kind_to_string : plan_kind -> string
+
 val initial_load : Flags.t -> Shape.t -> Ast.stmt
 
 val fill_statements : Flags.t -> Shape.t -> Ast.stmt list

@@ -44,13 +44,62 @@ let capture v (base_table : string) (change : Trigger.change) =
 
 (* --- refresh --- *)
 
+module Span = Openivm_obs.Span
+module Metrics = Openivm_obs.Metrics
+
+let m_refresh_total strategy =
+  Metrics.counter "openivm_refresh_total"
+    ~help:"propagation-script runs per combine strategy"
+    ~labels:[ ("strategy", strategy) ]
+
+let m_refresh_seconds strategy =
+  Metrics.histogram "openivm_refresh_seconds"
+    ~help:"refresh latency per combine strategy"
+    ~labels:[ ("strategy", strategy) ]
+
+let m_delta_rows_folded =
+  Metrics.counter "openivm_delta_rows_folded_total"
+    ~help:"captured delta rows consumed by refreshes"
+
+(** One propagation step (paper §2 steps 1–4) under its own span, with
+    statement count and the engine's row counters attributed to it. *)
+let run_step v name stmts =
+  if stmts <> [] then
+    Span.with_span ("propagate." ^ name) (fun sp ->
+        let p = Database.profile v.db in
+        let w0 = p.Database.rows_written and r0 = p.Database.rows_read in
+        exec_stmts v.db stmts;
+        if sp != Span.none then begin
+          Span.set_int sp "statements" (List.length stmts);
+          Span.set_int sp "rows_written" (p.Database.rows_written - w0);
+          Span.set_int sp "rows_read" (p.Database.rows_read - r0)
+        end)
+
 let force_refresh v =
   let t0 = Unix.gettimeofday () in
-  Trigger.without_hooks (Database.triggers v.db) (fun () ->
-      exec_stmts v.db (Propagate.all_statements v.compiled.Compiler.script));
+  let script = v.compiled.Compiler.script in
+  let strategy =
+    Flags.strategy_to_string v.compiled.Compiler.flags.Flags.strategy
+  in
+  Span.with_span "refresh"
+    ~attrs:
+      [ ("view", Span.Str (view_name v));
+        ("strategy", Span.Str strategy);
+        ("plan", Span.Str (Propagate.kind_to_string script.Propagate.kind));
+        ("pending_deltas", Span.Int v.pending_deltas) ]
+    (fun _ ->
+       Trigger.without_hooks (Database.triggers v.db) (fun () ->
+           run_step v "fill" script.Propagate.fill;
+           run_step v "combine" script.Propagate.combine;
+           run_step v "prune" script.Propagate.prune;
+           run_step v "cleanup" script.Propagate.cleanup));
+  Metrics.incr (m_refresh_total strategy);
+  Metrics.add m_delta_rows_folded v.pending_deltas;
   v.pending_deltas <- 0;
   v.refresh_count <- v.refresh_count + 1;
-  v.refresh_time <- v.refresh_time +. (Unix.gettimeofday () -. t0)
+  let dt = Unix.gettimeofday () -. t0 in
+  Metrics.observe (m_refresh_seconds strategy) dt;
+  v.refresh_time <- v.refresh_time +. dt
 
 let refresh v =
   if v.pending_deltas > 0
@@ -142,13 +191,23 @@ let store_scripts_on_disk (compiled : Compiler.t) =
       (fun () -> output_string oc (Compiler.full_sql compiled))
 
 let install ?(flags = Flags.default) (db : Database.t) (sql : string) : view =
-  let compiled = Compiler.compile ~flags (Database.catalog db) sql in
-  exec_stmts db compiled.Compiler.ddl;
-  exec_stmts db compiled.Compiler.metadata_ddl;
-  exec_stmts db compiled.Compiler.metadata_dml;
-  (* initial load must not be captured as a delta *)
-  Trigger.without_hooks (Database.triggers db) (fun () ->
-      exec_stmts db [ compiled.Compiler.initial_load ]);
+  let compiled =
+    Span.with_span "install" (fun sp ->
+        let compiled =
+          Span.with_span "compile" (fun _ ->
+              Compiler.compile ~flags (Database.catalog db) sql)
+        in
+        Span.set_str sp "view" compiled.Compiler.shape.Shape.view_name;
+        Span.with_span "setup_ddl" (fun _ ->
+            exec_stmts db compiled.Compiler.ddl;
+            exec_stmts db compiled.Compiler.metadata_ddl;
+            exec_stmts db compiled.Compiler.metadata_dml);
+        (* initial load must not be captured as a delta *)
+        Span.with_span "initial_load" (fun _ ->
+            Trigger.without_hooks (Database.triggers db) (fun () ->
+                exec_stmts db [ compiled.Compiler.initial_load ]));
+        compiled)
+  in
   store_scripts_on_disk compiled;
   let v =
     { compiled; db; pending_deltas = 0; refresh_count = 0;

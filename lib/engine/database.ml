@@ -71,6 +71,25 @@ let simulate_latency t =
     while Unix.gettimeofday () < deadline do () done
   end
 
+(* --- observability mirrors of the profile counters: always-on direct
+   field increments, readable through Openivm_obs.Report --- *)
+
+let m_rows_read =
+  Openivm_obs.Metrics.counter "minidb_rows_read_total"
+    ~help:"rows returned by top-level SELECTs"
+
+let m_rows_written =
+  Openivm_obs.Metrics.counter "minidb_rows_written_total"
+    ~help:"rows affected by INSERT/UPDATE/DELETE"
+
+let m_stmts kind =
+  Openivm_obs.Metrics.counter "minidb_statements_total"
+    ~help:"statements executed per kind" ~labels:[ ("kind", kind) ]
+
+let m_stmts_select = m_stmts "select"
+let m_stmts_dml = m_stmts "dml"
+let m_stmts_ddl = m_stmts "ddl"
+
 (* --- planning --- *)
 
 let plan_select t (s : Sql.Ast.select) : Plan.t =
@@ -80,7 +99,9 @@ let plan_select t (s : Sql.Ast.select) : Plan.t =
 let run_select t (s : Sql.Ast.select) : query_result =
   let plan = plan_select t s in
   let r = Exec.run t.catalog plan in
-  t.profile.rows_read <- t.profile.rows_read + List.length r.Exec.rows;
+  let n = List.length r.Exec.rows in
+  t.profile.rows_read <- t.profile.rows_read + n;
+  Openivm_obs.Metrics.add m_rows_read n;
   { schema = r.Exec.schema; rows = r.Exec.rows }
 
 (* --- DDL --- *)
@@ -121,9 +142,15 @@ let rec exec_stmt t (stmt : Sql.Ast.stmt) : exec_result =
     let r = f () in
     let dt = Unix.gettimeofday () -. t0 in
     (match slot with
-     | `Select -> t.profile.select_time <- t.profile.select_time +. dt
-     | `Dml -> t.profile.dml_time <- t.profile.dml_time +. dt
-     | `Ddl -> t.profile.ddl_time <- t.profile.ddl_time +. dt);
+     | `Select ->
+       t.profile.select_time <- t.profile.select_time +. dt;
+       Openivm_obs.Metrics.incr m_stmts_select
+     | `Dml ->
+       t.profile.dml_time <- t.profile.dml_time +. dt;
+       Openivm_obs.Metrics.incr m_stmts_dml
+     | `Ddl ->
+       t.profile.ddl_time <- t.profile.ddl_time +. dt;
+       Openivm_obs.Metrics.incr m_stmts_ddl);
     r
   in
   match stmt with
@@ -165,16 +192,19 @@ let rec exec_stmt t (stmt : Sql.Ast.stmt) : exec_result =
           Dml.exec_insert t.catalog t.triggers ~table ~columns ~source ~on_conflict
         in
         t.profile.rows_written <- t.profile.rows_written + o.Dml.affected;
+        Openivm_obs.Metrics.add m_rows_written o.Dml.affected;
         Affected o.Dml.affected)
   | Sql.Ast.Update { table; assignments; where } ->
     timed `Dml (fun () ->
         let o = Dml.exec_update t.catalog t.triggers ~table ~assignments ~where in
         t.profile.rows_written <- t.profile.rows_written + o.Dml.affected;
+        Openivm_obs.Metrics.add m_rows_written o.Dml.affected;
         Affected o.Dml.affected)
   | Sql.Ast.Delete { table; where } ->
     timed `Dml (fun () ->
         let o = Dml.exec_delete t.catalog t.triggers ~table ~where in
         t.profile.rows_written <- t.profile.rows_written + o.Dml.affected;
+        Openivm_obs.Metrics.add m_rows_written o.Dml.affected;
         Affected o.Dml.affected)
   | Sql.Ast.Truncate table ->
     timed `Dml (fun () ->

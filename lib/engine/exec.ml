@@ -134,9 +134,47 @@ let split_join_condition ls rs condition =
 
 let null_row n : Row.t = Array.make n Value.Null
 
+(* --- operator-level row counters (collected only while tracing is on:
+   the [List.length] per node is not free on the hot path) --- *)
+
+let op_rows op =
+  Openivm_obs.Metrics.counter "minidb_operator_rows_total"
+    ~help:"rows emitted per physical operator" ~labels:[ ("op", op) ]
+
+let rows_scan = op_rows "scan"
+let rows_index_scan = op_rows "index_scan"
+let rows_materialized = op_rows "materialized"
+let rows_filter = op_rows "filter"
+let rows_project = op_rows "project"
+let rows_join = op_rows "join"
+let rows_aggregate = op_rows "aggregate"
+let rows_distinct = op_rows "distinct"
+let rows_sort = op_rows "sort"
+let rows_limit = op_rows "limit"
+let rows_setop = op_rows "set_op"
+
+let op_counter : Plan.t -> _ = function
+  | Plan.Scan _ -> rows_scan
+  | Plan.Index_scan _ -> rows_index_scan
+  | Plan.Materialized _ -> rows_materialized
+  | Plan.Filter _ -> rows_filter
+  | Plan.Project _ -> rows_project
+  | Plan.Join _ -> rows_join
+  | Plan.Aggregate _ -> rows_aggregate
+  | Plan.Distinct _ -> rows_distinct
+  | Plan.Sort _ -> rows_sort
+  | Plan.Limit _ -> rows_limit
+  | Plan.Set_op _ -> rows_setop
+
 (* --- main interpreter --- *)
 
 let rec run (catalog : Catalog.t) (plan : Plan.t) : result =
+  let r = exec_node catalog plan in
+  if Openivm_obs.Span.enabled () then
+    Openivm_obs.Metrics.add (op_counter plan) (List.length r.rows);
+  r
+
+and exec_node (catalog : Catalog.t) (plan : Plan.t) : result =
   let lookup = lookup_of catalog in
   let schema = Plan.schema_of ~lookup plan in
   match plan with

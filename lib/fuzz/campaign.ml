@@ -35,15 +35,27 @@ type report = {
   cases_run : int;
   checks_run : int;
   failures : case_failure list;
+  elapsed_seconds : float;
+  shrink_seconds : float;
 }
+
+let throughput (r : report) : string =
+  let rate =
+    if r.elapsed_seconds > 0.0 then
+      Printf.sprintf "%.1f cases/s" (float_of_int r.cases_run /. r.elapsed_seconds)
+    else "n/a"
+  in
+  if r.shrink_seconds > 0.0 then
+    Printf.sprintf "%s, %.2fs shrinking" rate r.shrink_seconds
+  else rate
 
 let summary (r : report) : string =
   if r.failures = [] then
-    Printf.sprintf "fuzz: %d cases, %d checks, all green" r.cases_run
-      r.checks_run
+    Printf.sprintf "fuzz: %d cases, %d checks, all green (%s)" r.cases_run
+      r.checks_run (throughput r)
   else
-    Printf.sprintf "fuzz: %d cases, %d checks, %d FAILURE(S)\n%s" r.cases_run
-      r.checks_run
+    Printf.sprintf "fuzz: %d cases, %d checks (%s), %d FAILURE(S)\n%s"
+      r.cases_run r.checks_run (throughput r)
       (List.length r.failures)
       (String.concat "\n"
          (List.map
@@ -55,9 +67,29 @@ let summary (r : report) : string =
                | None -> "")
             r.failures))
 
+module Span = Openivm_obs.Span
+module Metrics = Openivm_obs.Metrics
+
+let m_cases = Metrics.counter "fuzz_cases_total" ~help:"fuzz cases checked"
+let m_checks = Metrics.counter "fuzz_checks_total" ~help:"oracle checks run"
+let m_failures = Metrics.counter "fuzz_failures_total" ~help:"failing cases"
+
+let m_case_seconds =
+  Metrics.histogram "fuzz_case_seconds" ~help:"oracle wall-clock per case"
+
+let m_shrink_seconds =
+  Metrics.histogram "fuzz_shrink_seconds" ~help:"shrink wall-clock per failure"
+
+let m_shrink_attempts =
+  Metrics.counter "fuzz_shrink_attempts_total"
+    ~help:"oracle evaluations spent shrinking"
+
 let run (cfg : config) : report =
   let checks = ref 0 in
   let failures = ref [] in
+  let t_start = Unix.gettimeofday () in
+  let shrink_time = ref 0.0 in
+  let campaign_span = Span.enter "fuzz.campaign" in
   for i = 0 to cfg.cases - 1 do
     let seed = cfg.base_seed + i in
     let case =
@@ -65,25 +97,41 @@ let run (cfg : config) : report =
         Case.strategies = cfg.strategies;
         dialects = cfg.dialects }
     in
-    let outcome = Oracle.run case in
+    let t_case = Unix.gettimeofday () in
+    let outcome =
+      Span.with_span "fuzz.case" ~attrs:[ ("seed", Span.Int seed) ]
+        (fun _ -> Oracle.run case)
+    in
+    Metrics.observe m_case_seconds (Unix.gettimeofday () -. t_case);
+    Metrics.incr m_cases;
+    Metrics.add m_checks outcome.Oracle.checks;
     checks := !checks + outcome.Oracle.checks;
     (match outcome.Oracle.failure with
      | None ->
        if (i + 1) mod 50 = 0 then
          cfg.log (Printf.sprintf "fuzz: %d/%d cases green" (i + 1) cfg.cases)
      | Some failure ->
+       Metrics.incr m_failures;
        cfg.log (Printf.sprintf "fuzz: case seed=%d FAILED\n%s" seed
                   failure.Oracle.message);
        let minimized, shrink_stats =
          if cfg.shrink then begin
-           let m, st = Shrink.minimize ~oracle:Oracle.first_failure case in
+           let t_shrink = Unix.gettimeofday () in
+           let m, st =
+             Span.with_span "fuzz.shrink" ~attrs:[ ("seed", Span.Int seed) ]
+               (fun _ -> Shrink.minimize ~oracle:Oracle.first_failure case)
+           in
+           let dt = Unix.gettimeofday () -. t_shrink in
+           shrink_time := !shrink_time +. dt;
+           Metrics.observe m_shrink_seconds dt;
+           Metrics.add m_shrink_attempts st.Shrink.attempts;
            cfg.log
              (Printf.sprintf
                 "fuzz: shrunk to %d setup + %d workload statement(s) (%d \
-                 oracle calls, %d reductions)"
+                 oracle calls, %d reductions, %.2fs)"
                 (List.length m.Case.setup)
                 (List.length m.Case.workload)
-                st.Shrink.attempts st.Shrink.kept);
+                st.Shrink.attempts st.Shrink.kept dt);
            (m, Some st)
          end
          else (case, None)
@@ -100,5 +148,8 @@ let run (cfg : config) : report =
        failures :=
          { failure; minimized; shrink_stats; saved_to } :: !failures)
   done;
+  Span.finish campaign_span;
   { cases_run = cfg.cases; checks_run = !checks;
-    failures = List.rev !failures }
+    failures = List.rev !failures;
+    elapsed_seconds = Unix.gettimeofday () -. t_start;
+    shrink_seconds = !shrink_time }

@@ -31,10 +31,13 @@ type report = {
   cases_run : int;
   checks_run : int;
   failures : case_failure list;
+  elapsed_seconds : float;  (** whole campaign, shrinking included *)
+  shrink_seconds : float;   (** spent minimizing failures *)
 }
 
 val run : config -> report
 
 val summary : report -> string
-(** One-paragraph human summary; includes every failure message (each of
-    which embeds its reproducer command). *)
+(** One-paragraph human summary with throughput (cases/sec, shrink time);
+    includes every failure message (each of which embeds its reproducer
+    command). *)

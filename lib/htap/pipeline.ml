@@ -19,6 +19,28 @@
     full resync from the base tables. *)
 
 open Openivm_engine
+module Span = Openivm_obs.Span
+module Metrics = Openivm_obs.Metrics
+
+let m_batches_applied =
+  Metrics.counter "bridge_batches_applied_total"
+    ~help:"delta batches landed on the OLAP side"
+
+let m_rows_applied =
+  Metrics.counter "bridge_rows_applied_total"
+    ~help:"delta rows landed on the OLAP side"
+
+let m_retries =
+  Metrics.counter "bridge_retries_total"
+    ~help:"resends of an unacknowledged batch"
+
+let m_sync_seconds =
+  Metrics.histogram "pipeline_sync_seconds"
+    ~help:"wall-clock per Pipeline.sync call"
+
+let m_recover_seconds phase =
+  Metrics.histogram "pipeline_recover_seconds"
+    ~help:"wall-clock per recovery phase" ~labels:[ ("phase", phase) ]
 
 type stats = {
   mutable retries : int;          (** resends of an unacknowledged batch *)
@@ -180,7 +202,9 @@ let apply_batch t ~(source : string) ~(seq : int) (rows : Row.t list) : unit =
       t.view.Openivm.Runner.pending_deltas + n;
     Oltp.ack t.oltp ~base:source ~seq;
     t.stats.batches_applied <- t.stats.batches_applied + 1;
-    t.stats.rows_applied <- t.stats.rows_applied + n
+    t.stats.rows_applied <- t.stats.rows_applied + n;
+    Metrics.incr m_batches_applied;
+    Metrics.add m_rows_applied n
   with Olap_crash ->
     Snapshot.restore t.olap memo;
     t.crashed <- true;
@@ -228,6 +252,7 @@ let sync_base t (base : string) : unit =
           (* not acknowledged: dropped, corrupted or held back *)
           if tries < t.max_retries then begin
             t.stats.retries <- t.stats.retries + 1;
+            Metrics.incr m_retries;
             backoff t tries;
             go (tries + 1)
           end
@@ -244,9 +269,19 @@ let sync_base t (base : string) : unit =
     down ({!crashed}) — deltas keep accumulating in the outbox. *)
 let sync t : int =
   let rows_before = t.stats.rows_applied in
-  if not t.crashed then
-    Trigger.without_hooks (Database.triggers t.olap) (fun () ->
-        List.iter (sync_base t) t.base_tables);
+  let t0 = Unix.gettimeofday () in
+  Span.with_span "bridge.sync" (fun sp ->
+      if not t.crashed then
+        Trigger.without_hooks (Database.triggers t.olap) (fun () ->
+            List.iter
+              (fun base ->
+                 Span.with_span "bridge.ship"
+                   ~attrs:[ ("table", Span.Str base) ]
+                   (fun _ -> sync_base t base))
+              t.base_tables);
+      if sp != Span.none then
+        Span.set_int sp "rows_applied" (t.stats.rows_applied - rows_before));
+  Metrics.observe m_sync_seconds (Unix.gettimeofday () -. t0);
   t.syncs <- t.syncs + 1;
   t.stats.rows_applied - rows_before
 
@@ -348,28 +383,57 @@ type recovery = {
   replayed : int;   (** outbox batches landed by replay *)
   resynced : bool;  (** replay was not enough: rebuilt from base tables *)
   converged : bool; (** view = full recompute afterwards *)
+  phases : (string * float) list;
+      (** per-phase wall-clock seconds, in execution order:
+          drain, replay, verify, then (only when needed) resync and
+          reverify *)
 }
+
+let pp_phases (r : recovery) : string list =
+  List.map
+    (fun (name, dt) ->
+       Printf.sprintf "recover-phase phase=%s seconds=%.6f" name dt)
+    r.phases
 
 (** Bring a crashed (or merely lagging) pipeline back to a verified-
     consistent state. The recovery ladder: (1) drain batches still in the
     pipe, (2) replay unacknowledged outbox batches over a healthy link —
     idempotent apply makes replays of already-landed batches no-ops —
     and (3) if the view still disagrees with the ground truth, full
-    resync from the base tables. *)
-let recover t : recovery =
+    resync from the base tables.
+
+    [log] receives one structured [recover-phase phase=... seconds=...]
+    line per phase as it completes, so soak harnesses can show where
+    recovery time went. *)
+let recover ?(log = ignore) t : recovery =
   t.stats.recoveries <- t.stats.recoveries + 1;
   t.crashed <- false;
+  let phases = ref [] in
+  let phase name f =
+    let t0 = Unix.gettimeofday () in
+    let r = Span.with_span ("recover." ^ name) (fun _ -> f ()) in
+    let dt = Unix.gettimeofday () -. t0 in
+    phases := (name, dt) :: !phases;
+    Metrics.observe (m_recover_seconds name) dt;
+    log (Printf.sprintf "recover-phase phase=%s seconds=%.6f" name dt);
+    r
+  in
   let applied_before = t.stats.batches_applied in
   (* a restarted pipeline retries over a healthy link: injection off *)
   Fault.suspended (Bridge.faults t.bridge) (fun () ->
       Trigger.without_hooks (Database.triggers t.olap) (fun () ->
-          List.iter (receive t) (Bridge.flush t.bridge);
-          List.iter (sync_base t) t.base_tables));
+          phase "drain" (fun () ->
+              List.iter (receive t) (Bridge.flush t.bridge));
+          phase "replay" (fun () ->
+              List.iter (sync_base t) t.base_tables)));
   let replayed = t.stats.batches_applied - applied_before in
-  if verify t then { replayed; resynced = false; converged = true }
+  if phase "verify" (fun () -> verify t) then
+    { replayed; resynced = false; converged = true;
+      phases = List.rev !phases }
   else begin
-    full_resync t;
-    { replayed; resynced = true; converged = verify t }
+    phase "resync" (fun () -> full_resync t);
+    let converged = phase "reverify" (fun () -> verify t) in
+    { replayed; resynced = true; converged; phases = List.rev !phases }
   end
 
 (** The non-IVM cross-system baseline: ship the *entire* base tables over

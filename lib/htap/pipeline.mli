@@ -94,14 +94,23 @@ type recovery = {
   replayed : int;   (** outbox batches landed by replay *)
   resynced : bool;  (** replay was not enough: rebuilt from base tables *)
   converged : bool; (** view = full recompute afterwards *)
+  phases : (string * float) list;
+      (** per-phase wall-clock seconds, in execution order: [drain],
+          [replay], [verify], then (only when replay was not enough)
+          [resync] and [reverify] *)
 }
 
-val recover : t -> recovery
+val pp_phases : recovery -> string list
+(** The [phases] as structured [recover-phase phase=... seconds=...]
+    lines, one per phase. *)
+
+val recover : ?log:(string -> unit) -> t -> recovery
 (** The recovery ladder after an OLAP crash (also safe on a healthy
     pipeline): drain in-flight batches, replay unacknowledged outbox
     batches over a healthy link (idempotent apply makes duplicates
     no-ops), and — if the view still disagrees with the ground truth —
-    full resync from the base tables. *)
+    full resync from the base tables. [log] receives one structured
+    timing line per phase as it completes (see {!pp_phases}). *)
 
 val full_resync : t -> unit
 (** Rebuild the OLAP side from scratch: abandon outboxes and in-flight

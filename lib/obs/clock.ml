@@ -1,0 +1,23 @@
+(** Injectable time and allocation sources for the observability layer. *)
+
+let default_now = Unix.gettimeofday
+let default_alloc = Gc.allocated_bytes
+
+let now_fn = ref default_now
+let alloc_fn = ref default_alloc
+
+let now () = !now_fn ()
+let allocated_bytes () = !alloc_fn ()
+
+let set_now f = now_fn := f
+let set_allocated_bytes f = alloc_fn := f
+
+let use_defaults () =
+  now_fn := default_now;
+  alloc_fn := default_alloc
+
+let ticker ?(start = 0.0) ?(step = 0.001) () =
+  let t = ref (start -. step) in
+  fun () ->
+    t := !t +. step;
+    !t

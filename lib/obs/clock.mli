@@ -1,0 +1,27 @@
+(** Injectable time and allocation sources for the observability layer.
+
+    Spans and benchmark code read wall-clock time and GC-allocated bytes
+    through this module instead of calling [Unix.gettimeofday] /
+    [Gc.allocated_bytes] directly, so tests can install deterministic
+    fakes and render byte-identical reports. *)
+
+val now : unit -> float
+(** Current time in seconds. Defaults to [Unix.gettimeofday]. *)
+
+val allocated_bytes : unit -> float
+(** Bytes allocated on the OCaml heap since program start. Defaults to
+    [Gc.allocated_bytes]. *)
+
+val set_now : (unit -> float) -> unit
+(** Install a fake time source (deterministic tests). *)
+
+val set_allocated_bytes : (unit -> float) -> unit
+(** Install a fake allocation source (deterministic tests). *)
+
+val use_defaults : unit -> unit
+(** Restore the real [Unix.gettimeofday] / [Gc.allocated_bytes] sources. *)
+
+val ticker : ?start:float -> ?step:float -> unit -> unit -> float
+(** [ticker ()] is a deterministic fake time source: each call returns the
+    previous value plus [step] (default 0.001s), starting at [start]
+    (default 0). For [set_now] in tests. *)

@@ -1,0 +1,239 @@
+(** Renderers over recorded spans and the metrics registry. Everything
+    here is pure string building over {!Span.spans} / {!Metrics.snapshot},
+    so the output is deterministic whenever the clock is. *)
+
+let pp_duration seconds =
+  if seconds >= 1.0 then Printf.sprintf "%.2fs" seconds
+  else if seconds >= 1e-3 then Printf.sprintf "%.2fms" (seconds *. 1e3)
+  else Printf.sprintf "%.1fus" (seconds *. 1e6)
+
+let pp_bytes b =
+  if b >= 1048576.0 then Printf.sprintf "%.1fMB" (b /. 1048576.0)
+  else if b >= 1024.0 then Printf.sprintf "%.1fKB" (b /. 1024.0)
+  else Printf.sprintf "%.0fB" b
+
+let value_to_string : Span.value -> string = function
+  | Span.Int i -> string_of_int i
+  | Span.Float f -> Printf.sprintf "%g" f
+  | Span.Str s -> s
+
+(* --- the span tree --- *)
+
+let span_line (s : Span.t) =
+  let timing =
+    if s.Span.alloc_bytes > 0.0 then
+      Printf.sprintf "(%s, %s)" (pp_duration s.Span.duration)
+        (pp_bytes s.Span.alloc_bytes)
+    else Printf.sprintf "(%s)" (pp_duration s.Span.duration)
+  in
+  let attrs =
+    match s.Span.attrs with
+    | [] -> ""
+    | kvs ->
+      " "
+      ^ String.concat " "
+          (List.map (fun (k, v) -> k ^ "=" ^ value_to_string v) kvs)
+  in
+  Printf.sprintf "%s %s%s" s.Span.name timing attrs
+
+let span_tree () =
+  let buf = Buffer.create 512 in
+  let rec render prefix child_prefix s =
+    Buffer.add_string buf (prefix ^ span_line s ^ "\n");
+    let kids = Span.children s in
+    let n = List.length kids in
+    List.iteri
+      (fun i kid ->
+         let last = i = n - 1 in
+         render
+           (child_prefix ^ (if last then "└─ " else "├─ "))
+           (child_prefix ^ (if last then "   " else "│  "))
+           kid)
+      kids
+  in
+  List.iter (fun root -> render "" "" root) (Span.roots ());
+  Buffer.contents buf
+
+(* --- the metrics table --- *)
+
+let labels_suffix = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+    ^ "}"
+
+let metrics_table () =
+  let snap = Metrics.snapshot () in
+  let entries =
+    List.map
+      (fun (name, labels, _help, v) ->
+         let key = name ^ labels_suffix labels in
+         let value =
+           match v with
+           | Metrics.Counter_v n -> string_of_int n
+           | Metrics.Gauge_v f -> Printf.sprintf "%g" f
+           | Metrics.Histogram_v h ->
+             Printf.sprintf "count=%d sum=%s p50=%s p90=%s max=%s" h.count
+               (pp_duration h.sum)
+               (pp_duration
+                  (Metrics.percentile
+                     (Metrics.histogram ~labels name) 0.5))
+               (pp_duration
+                  (Metrics.percentile
+                     (Metrics.histogram ~labels name) 0.9))
+               (pp_duration h.vmax)
+         in
+         (key, value))
+      snap
+  in
+  let width =
+    List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 entries
+  in
+  String.concat ""
+    (List.map
+       (fun (k, v) -> Printf.sprintf "%-*s  %s\n" width k v)
+       entries)
+
+(* --- JSON lines --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 32 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+let json_float f = Printf.sprintf "%.9g" f
+
+let json_attr (k, v) =
+  Printf.sprintf "%s:%s" (json_str k)
+    (match v with
+     | Span.Int i -> string_of_int i
+     | Span.Float f -> json_float f
+     | Span.Str s -> json_str s)
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> json_str k ^ ":" ^ json_str v) labels)
+  ^ "}"
+
+let span_json (s : Span.t) =
+  Printf.sprintf
+    "{\"type\":\"span\",\"id\":%d,\"parent\":%s,\"name\":%s,\"start\":%s,\"duration\":%s,\"alloc_bytes\":%.0f,\"attrs\":{%s}}"
+    s.Span.id
+    (match s.Span.parent with None -> "null" | Some p -> string_of_int p)
+    (json_str s.Span.name)
+    (json_float s.Span.start_time)
+    (json_float s.Span.duration)
+    s.Span.alloc_bytes
+    (String.concat "," (List.map json_attr s.Span.attrs))
+
+let metric_json (name, labels, _help, v) =
+  match v with
+  | Metrics.Counter_v n ->
+    Printf.sprintf "{\"type\":\"counter\",\"name\":%s,\"labels\":%s,\"value\":%d}"
+      (json_str name) (json_labels labels) n
+  | Metrics.Gauge_v f ->
+    Printf.sprintf "{\"type\":\"gauge\",\"name\":%s,\"labels\":%s,\"value\":%s}"
+      (json_str name) (json_labels labels) (json_float f)
+  | Metrics.Histogram_v h ->
+    let hist = Metrics.histogram ~labels name in
+    Printf.sprintf
+      "{\"type\":\"histogram\",\"name\":%s,\"labels\":%s,\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}"
+      (json_str name) (json_labels labels) h.count (json_float h.sum)
+      (json_float h.vmin) (json_float h.vmax)
+      (json_float (Metrics.percentile hist 0.5))
+      (json_float (Metrics.percentile hist 0.9))
+      (json_float (Metrics.percentile hist 0.99))
+
+let jsonl () =
+  let lines =
+    List.map span_json (Span.spans ())
+    @ List.map metric_json (Metrics.snapshot ())
+  in
+  String.concat "" (List.map (fun l -> l ^ "\n") lines)
+
+(* --- Prometheus text exposition format --- *)
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (json_escape v))
+           labels)
+    ^ "}"
+
+let prom_labels_extra labels extra =
+  prom_labels (labels @ [ extra ])
+
+let prometheus () =
+  let buf = Buffer.create 512 in
+  let last_name = ref "" in
+  List.iter
+    (fun (name, labels, help, v) ->
+       let kind =
+         match v with
+         | Metrics.Counter_v _ -> "counter"
+         | Metrics.Gauge_v _ -> "gauge"
+         | Metrics.Histogram_v _ -> "histogram"
+       in
+       if name <> !last_name then begin
+         last_name := name;
+         if help <> "" then
+           Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+         Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+       end;
+       (match v with
+        | Metrics.Counter_v n ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" name (prom_labels labels) n)
+        | Metrics.Gauge_v f ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %g\n" name (prom_labels labels) f)
+        | Metrics.Histogram_v h ->
+          List.iter
+            (fun (le, cum) ->
+               let le_str =
+                 if Float.is_integer le && Float.abs le < 1e15
+                    && le <> infinity
+                 then Printf.sprintf "%.0f" le
+                 else if le = infinity then "+Inf"
+                 else Printf.sprintf "%g" le
+               in
+               Buffer.add_string buf
+                 (Printf.sprintf "%s_bucket%s %d\n" name
+                    (prom_labels_extra labels ("le", le_str))
+                    cum))
+            h.buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %g\n" name (prom_labels labels) h.sum);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" name (prom_labels labels)
+               h.count)))
+    (Metrics.snapshot ());
+  Buffer.contents buf
+
+let render = function
+  | `Text ->
+    let tree = span_tree () in
+    let table = metrics_table () in
+    (if tree = "" then "" else "-- spans --\n" ^ tree)
+    ^ if table = "" then "" else "-- metrics --\n" ^ table
+  | `Json -> jsonl ()
+  | `Prometheus -> prometheus ()
+
+let reset_all () =
+  Span.reset ();
+  Metrics.reset_values ()

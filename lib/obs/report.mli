@@ -1,0 +1,34 @@
+(** Renderers over the recorded spans and the metrics registry.
+
+    Three output shapes:
+    - {!span_tree}: a human-readable tree with per-span wall-clock time,
+      allocation and attributes — "EXPLAIN ANALYZE for IVM";
+    - {!jsonl}: one JSON object per line (spans first, then metrics) for
+      machine consumption;
+    - {!prometheus}: the Prometheus text exposition format (metrics only;
+      spans have no Prometheus representation).
+
+    All renderers are deterministic given a deterministic {!Clock}. *)
+
+val pp_duration : float -> string
+(** Seconds to ["1.23s" | "4.56ms" | "7.8us"]. *)
+
+val span_tree : unit -> string
+(** Tree of all recorded spans, roots first in start order. *)
+
+val metrics_table : unit -> string
+(** Plain-text table of every touched metric (counters and gauges as one
+    line; histograms with count/sum/p50/p90/max). *)
+
+val jsonl : unit -> string
+(** Spans then metrics, one JSON object per line. *)
+
+val prometheus : unit -> string
+(** Prometheus text format of the metrics registry. *)
+
+val render : [ `Text | `Json | `Prometheus ] -> string
+(** [`Text] = span tree + metrics table; [`Json] = {!jsonl};
+    [`Prometheus] = {!prometheus}. *)
+
+val reset_all : unit -> unit
+(** Clear recorded spans and zero all metrics. *)

@@ -1,0 +1,70 @@
+(** Tracing spans: nested wall-clock + allocation measurements over the
+    IVM hot paths ("EXPLAIN ANALYZE for IVM").
+
+    Collection is off by default; every instrumented call site pays one
+    boolean read and receives the shared {!none} span, on which every
+    operation is a no-op — the no-op fast path that keeps instrumented
+    code free of measurable overhead. When enabled ({!set_enabled}),
+    [enter]/[finish] record spans into a global in-memory trace buffer
+    that {!Report} renders as a tree, JSON lines or Prometheus text.
+
+    Time and allocation are read through {!Clock}, so tests can inject a
+    deterministic clock and compare reports against golden files. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+
+type t = {
+  id : int;                       (** 1-based, in start order *)
+  parent : int option;            (** enclosing open span at [enter] time *)
+  name : string;
+  start_time : float;
+  start_alloc : float;
+  mutable duration : float;       (** seconds; set at [finish] *)
+  mutable alloc_bytes : float;    (** heap bytes allocated inside the span *)
+  mutable attrs : (string * value) list;  (** insertion order *)
+  mutable closed : bool;
+}
+
+val none : t
+(** The shared dummy span returned while collection is disabled. All
+    operations on it are no-ops. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Drop all recorded spans and the open-span stack; ids restart at 1. *)
+
+val enter : ?attrs:(string * value) list -> string -> t
+(** Open a span named [name], child of the innermost open span. Returns
+    {!none} while disabled. *)
+
+val finish : t -> unit
+(** Close the span, recording wall-clock duration and allocation delta.
+    Idempotent; a no-op on {!none}. *)
+
+val with_span : ?attrs:(string * value) list -> string -> (t -> 'a) -> 'a
+(** [with_span name f] runs [f span] between [enter] and [finish],
+    finishing even on exceptions. *)
+
+val set : t -> string -> value -> unit
+(** Append an attribute (no-op on {!none}). *)
+
+val set_int : t -> string -> int -> unit
+val set_str : t -> string -> string -> unit
+val set_float : t -> string -> float -> unit
+
+val spans : unit -> t list
+(** All recorded spans, in start order. *)
+
+val find : string -> t option
+(** First recorded span with the given name. *)
+
+val children : t -> t list
+(** Direct children of a span, in start order. *)
+
+val roots : unit -> t list
+(** Recorded spans with no parent, in start order. *)

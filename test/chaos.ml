@@ -18,6 +18,12 @@ let check name ok =
     Printf.printf "  FAIL %s\n%!" name
   end
 
+(* on a convergence failure, show where recovery time went *)
+let check_converged name (r : Pipeline.recovery) =
+  check (name ^ ": view converges with full recompute") r.Pipeline.converged;
+  if not r.Pipeline.converged then
+    List.iter (fun l -> Printf.printf "  %s\n%!" l) (Pipeline.pp_phases r)
+
 let groups_schema =
   "CREATE TABLE groups(group_index VARCHAR, group_value INTEGER);"
 
@@ -71,7 +77,7 @@ let run_groups ~name ~spec ~tx_count (checks : Pipeline.t -> unit) =
   let tx = Txgen.create ~seed:31337 ~group_domain:12 () in
   List.iter (fun sql -> ignore (Pipeline.exec_oltp p sql)) (Txgen.seed_rows tx 100);
   let r = drive p (Txgen.batch tx tx_count) ~sync_every:10 in
-  check (name ^ ": view converges with full recompute") r.Pipeline.converged;
+  check_converged name r;
   check (name ^ ": nothing left in the outbox")
     (List.for_all
        (fun base -> Oltp.pending (Pipeline.oltp p) ~base = 0)
@@ -111,7 +117,7 @@ let run_join ~name ~spec ~tx_count =
             (1 + Random.State.int rng 20) (Random.State.int rng 500))
   in
   let r = drive p statements ~sync_every:10 in
-  check (name ^ ": view converges with full recompute") r.Pipeline.converged;
+  check_converged name r;
   check (name ^ ": replicas match the OLTP base tables") (replicas_match p);
   check (name ^ ": no silent replica divergence")
     ((Pipeline.stats p).Pipeline.replica_misses = 0)

@@ -30,4 +30,5 @@ let () =
       ("csv", Test_csv.suite);
       ("snapshot", Test_snapshot.suite);
       ("tpch", Test_tpch.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,300 @@
+(** Tests for the observability subsystem (lib/obs): span nesting and
+    attribution, histogram percentile math, no-op behaviour while
+    disabled, and byte-identical renderer output under the injected
+    clock, compared against the golden files in [golden/].
+
+    To regenerate the goldens after an intentional format change:
+
+      dune build test/main.exe && cd test && \
+        OPENIVM_GOLDEN_PROMOTE=golden ../_build/default/test/main.exe test obs
+*)
+
+module Clock = Openivm_obs.Clock
+module Span = Openivm_obs.Span
+module Metrics = Openivm_obs.Metrics
+module Report = Openivm_obs.Report
+
+(** Run [f] with span collection on and a clean slate, restoring the real
+    clock and disabled state even when a check fails. *)
+let with_obs f () =
+  Report.reset_all ();
+  Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+        Span.set_enabled false;
+        Clock.use_defaults ();
+        Report.reset_all ())
+    f
+
+let fake_clock () =
+  Clock.set_now (Clock.ticker ~start:1000.0 ~step:0.0005 ());
+  Clock.set_allocated_bytes (Clock.ticker ~start:0.0 ~step:256.0 ())
+
+let names spans = List.map (fun (s : Span.t) -> s.Span.name) spans
+
+(* --- span nesting --- *)
+
+let test_nesting =
+  with_obs (fun () ->
+      let a = Span.enter "a" in
+      let b = Span.enter "b" in
+      let c = Span.enter "c" in
+      Span.finish c;
+      Span.finish b;
+      let b2 = Span.enter "b2" in
+      Span.finish b2;
+      Span.finish a;
+      let r2 = Span.enter "root2" in
+      Span.finish r2;
+      Alcotest.(check (list string)) "start order"
+        [ "a"; "b"; "c"; "b2"; "root2" ]
+        (names (Span.spans ()));
+      Alcotest.(check (list string)) "roots" [ "a"; "root2" ]
+        (names (Span.roots ()));
+      Alcotest.(check (list string)) "children of a" [ "b"; "b2" ]
+        (names (Span.children a));
+      Alcotest.(check (list string)) "children of b" [ "c" ]
+        (names (Span.children b));
+      Alcotest.(check (option int)) "c's parent is b" (Some b.Span.id)
+        c.Span.parent;
+      Alcotest.(check (option int)) "a is a root" None a.Span.parent)
+
+let test_out_of_order_finish =
+  with_obs (fun () ->
+      let a = Span.enter "a" in
+      let b = Span.enter "b" in
+      (* finishing the outer span pops the abandoned inner one off the
+         stack: the next span must attribute to nothing, not to [b] *)
+      Span.finish a;
+      let c = Span.enter "c" in
+      Alcotest.(check (option int)) "c is a root" None c.Span.parent;
+      Span.finish b;
+      Span.finish b;  (* idempotent *)
+      Span.finish c;
+      Alcotest.(check int) "three spans recorded" 3
+        (List.length (Span.spans ())))
+
+let test_disabled_is_noop () =
+  Report.reset_all ();
+  Alcotest.(check bool) "disabled by default" false (Span.enabled ());
+  let s = Span.enter "x" in
+  Alcotest.(check bool) "the shared none span" true (s == Span.none);
+  Span.set_int s "k" 1;
+  Span.finish s;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Span.spans ()));
+  Alcotest.(check int) "none stays attribute-free" 0
+    (List.length Span.none.Span.attrs)
+
+let test_with_span_on_exception =
+  with_obs (fun () ->
+      (try Span.with_span "boom" (fun _ -> failwith "x")
+       with Failure _ -> ());
+      match Span.find "boom" with
+      | None -> Alcotest.fail "span not recorded"
+      | Some s -> Alcotest.(check bool) "closed" true s.Span.closed)
+
+let test_injected_clock =
+  with_obs (fun () ->
+      fake_clock ();
+      let a = Span.enter "a" in
+      let b = Span.enter "b" in
+      Span.finish b;
+      Span.finish a;
+      (* every Clock.now () call ticks 0.5ms, every allocation read 256B:
+         enter and finish each read both sources once *)
+      Alcotest.(check (float 1e-12)) "inner duration" 0.0005 b.Span.duration;
+      Alcotest.(check (float 1e-12)) "outer duration" 0.0015 a.Span.duration;
+      Alcotest.(check (float 1e-9)) "inner allocation" 256.0 b.Span.alloc_bytes;
+      Alcotest.(check (float 1e-9)) "outer allocation" 768.0 a.Span.alloc_bytes)
+
+(* --- metrics --- *)
+
+let test_counter_and_reset () =
+  Report.reset_all ();
+  let c = Metrics.counter "obs_test_total" ~labels:[ ("k", "v") ] in
+  Metrics.incr c;
+  Metrics.add c 9;
+  Alcotest.(check int) "counted" 10 (Metrics.counter_value c);
+  Alcotest.(check int) "same (name, labels) = same handle" 10
+    (Metrics.counter_value (Metrics.counter "obs_test_total" ~labels:[ ("k", "v") ]));
+  Metrics.reset_values ();
+  Alcotest.(check int) "reset zeroes, handle stays valid" 0
+    (Metrics.counter_value c);
+  Metrics.incr c;
+  Alcotest.(check int) "still usable after reset" 1 (Metrics.counter_value c);
+  Report.reset_all ()
+
+let test_kind_mismatch () =
+  Report.reset_all ();
+  ignore (Metrics.counter "obs_test_kind");
+  Alcotest.check_raises "counter reused as gauge"
+    (Invalid_argument
+       "metric \"obs_test_kind\" already registered with another kind")
+    (fun () -> ignore (Metrics.gauge "obs_test_kind"));
+  Report.reset_all ()
+
+let test_percentiles () =
+  Report.reset_all ();
+  let h = Metrics.histogram "obs_test_seconds" in
+  Alcotest.(check bool) "empty histogram is nan" true
+    (Float.is_nan (Metrics.percentile h 0.5));
+  Metrics.observe h 0.003;
+  Alcotest.(check (float 1e-12)) "single value: every percentile is it"
+    0.003 (Metrics.percentile h 0.9);
+  Metrics.reset_values ();
+  List.iter (Metrics.observe h)
+    [ 2e-6; 3e-6; 5e-6; 9e-6; 2e-5; 6e-5; 2e-4; 1e-3 ];
+  Alcotest.(check int) "count" 8 (Metrics.hist_count h);
+  Alcotest.(check (float 1e-9)) "sum" 0.001299 (Metrics.hist_sum h);
+  Alcotest.(check (float 1e-12)) "p0 clamps to the observed min" 2e-6
+    (Metrics.percentile h 0.0);
+  Alcotest.(check (float 1e-12)) "p100 clamps to the observed max" 1e-3
+    (Metrics.percentile h 1.0);
+  let p50 = Metrics.percentile h 0.5 and p90 = Metrics.percentile h 0.9 in
+  Alcotest.(check bool) "p50 within range" true (p50 >= 2e-6 && p50 <= 1e-3);
+  Alcotest.(check bool) "percentiles are monotone" true (p50 <= p90);
+  (* p50: rank 4 falls in the [4us, 8us) bucket holding the 4th
+     observation (5e-6 and 9e-6 span two buckets; 2,3 fill [2,4)) *)
+  Alcotest.(check bool) "p50 near the middle observations" true
+    (p50 >= 4e-6 && p50 <= 1.6e-5);
+  Report.reset_all ()
+
+(* --- golden reports under the injected clock --- *)
+
+(** A fixed scenario covering every renderer feature: nested spans with
+    attributes of all three value kinds, a labelled counter, a gauge and
+    a histogram. *)
+let golden_scenario () =
+  fake_clock ();
+  Span.with_span "refresh"
+    ~attrs:[ ("view", Span.Str "q"); ("strategy", Span.Str "upsert_linear") ]
+    (fun sp ->
+       Span.with_span "propagate.fill" (fun s ->
+           Span.set_int s "rows_written" 42);
+       Span.with_span "propagate.combine" (fun s ->
+           Span.set_int s "rows_written" 17;
+           Span.set_float s "selectivity" 0.25);
+       Span.set_int sp "pending_deltas" 59);
+  Span.with_span "query" (fun _ -> ());
+  let c =
+    Metrics.counter "obs_demo_rows_total" ~help:"demo rows"
+      ~labels:[ ("kind", "insert") ]
+  in
+  Metrics.add c 123;
+  let g = Metrics.gauge "obs_demo_depth" ~help:"demo gauge" in
+  Metrics.set_gauge g 3.0;
+  let h = Metrics.histogram "obs_demo_seconds" ~help:"demo latencies" in
+  List.iter (Metrics.observe h) [ 2e-6; 3e-6; 5e-6; 9e-6; 2e-5; 1e-3 ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_golden name actual =
+  (match Sys.getenv_opt "OPENIVM_GOLDEN_PROMOTE" with
+   | Some dir ->
+     let oc = open_out_bin (Filename.concat dir name) in
+     output_string oc actual;
+     close_out oc
+   | None -> ());
+  let path = Filename.concat "golden" name in
+  if not (Sys.file_exists path) then
+    Alcotest.fail
+      (Printf.sprintf
+         "golden file %s missing — regenerate with OPENIVM_GOLDEN_PROMOTE \
+          (see the header of test_obs.ml)"
+         path)
+  else Alcotest.(check string) name (read_file path) actual
+
+let test_golden_text =
+  with_obs (fun () ->
+      golden_scenario ();
+      check_golden "obs_report.txt" (Report.render `Text))
+
+let test_golden_jsonl =
+  with_obs (fun () ->
+      golden_scenario ();
+      check_golden "obs_report.jsonl" (Report.render `Json))
+
+let test_golden_prometheus =
+  with_obs (fun () ->
+      golden_scenario ();
+      check_golden "obs_report.prom" (Report.render `Prometheus))
+
+(* --- integration: the instrumented runner produces the span taxonomy --- *)
+
+let test_runner_spans =
+  with_obs (fun () ->
+      let db = Util.db_with [ "CREATE TABLE t(k VARCHAR, v INTEGER)" ] in
+      Util.exec db "INSERT INTO t VALUES ('a', 1), ('b', 2)";
+      let v =
+        Openivm.Runner.install db
+          "CREATE MATERIALIZED VIEW tv AS SELECT k, SUM(v) AS s FROM t \
+           GROUP BY k"
+      in
+      Util.exec db "INSERT INTO t VALUES ('a', 3)";
+      Openivm.Runner.force_refresh v;
+      (match Span.find "install" with
+       | None -> Alcotest.fail "no install span"
+       | Some s ->
+         Alcotest.(check (list string)) "install children"
+           [ "compile"; "setup_ddl"; "initial_load" ]
+           (names (Span.children s)));
+      (match Span.find "refresh" with
+       | None -> Alcotest.fail "no refresh span"
+       | Some s ->
+         Alcotest.(check (list string)) "propagation steps"
+           [ "propagate.fill"; "propagate.combine"; "propagate.prune";
+             "propagate.cleanup" ]
+           (names (Span.children s));
+         Alcotest.(check bool) "strategy attribute" true
+           (List.mem_assoc "strategy" s.Span.attrs);
+         (match Span.children s with
+          | fill :: _ ->
+            (match List.assoc_opt "rows_written" fill.Span.attrs with
+             | Some (Span.Int n) ->
+               Alcotest.(check bool) "fill wrote the delta" true (n >= 1)
+             | _ -> Alcotest.fail "fill has no rows_written attribute")
+          | [] -> ()));
+      Alcotest.(check bool) "refresh counter incremented" true
+        (Metrics.counter_value
+           (Metrics.counter "openivm_refresh_total"
+              ~labels:[ ("strategy", "upsert_linear") ])
+         >= 1))
+
+let test_disabled_records_nothing () =
+  Report.reset_all ();
+  let db = Util.db_with [ "CREATE TABLE t(k VARCHAR, v INTEGER)" ] in
+  let v =
+    Openivm.Runner.install db
+      "CREATE MATERIALIZED VIEW tv AS SELECT k, SUM(v) AS s FROM t GROUP BY k"
+  in
+  Util.exec db "INSERT INTO t VALUES ('a', 1)";
+  Openivm.Runner.force_refresh v;
+  Alcotest.(check int) "no spans while disabled" 0
+    (List.length (Span.spans ()));
+  Util.check_view_consistent db v;
+  Report.reset_all ()
+
+let suite =
+  [ Util.tc "spans nest and attribute to the innermost open span" test_nesting;
+    Util.tc "out-of-order finish pops abandoned spans" test_out_of_order_finish;
+    Util.tc "disabled: the shared none span records nothing"
+      test_disabled_is_noop;
+    Util.tc "with_span closes on exception" test_with_span_on_exception;
+    Util.tc "durations come from the injected clock" test_injected_clock;
+    Util.tc "counters: labels, shared handles, reset keeps registration"
+      test_counter_and_reset;
+    Util.tc "kind mismatch on a registered name raises" test_kind_mismatch;
+    Util.tc "histogram percentile interpolation and clamping"
+      test_percentiles;
+    Util.tc "text report matches golden under injected clock"
+      test_golden_text;
+    Util.tc "JSON lines report matches golden" test_golden_jsonl;
+    Util.tc "Prometheus exposition matches golden" test_golden_prometheus;
+    Util.tc "runner refresh emits the documented span taxonomy"
+      test_runner_spans;
+    Util.tc "tracing off: refresh records no spans and stays correct"
+      test_disabled_records_nothing ]
