@@ -564,9 +564,15 @@ let median xs =
 
 type refresh_shape = {
   shape_name : string;
+  shape_upstreams : string list;
+      (* maintained views installed in order before [shape_view]; the
+         benchmarked view reads the last one, forming a cascade *)
   shape_view : string;
   shape_setup : Database.t -> Datagen.t -> unit;
   shape_delta : Database.t -> Datagen.t -> unit;
+  shape_flags : Openivm.Flags.t -> Openivm.Flags.t;
+      (* per-shape tweak of the benchmarked view's flags *)
+  shape_upstream_flags : Openivm.Flags.t -> Openivm.Flags.t;
 }
 
 let refresh_sizes () =
@@ -586,10 +592,49 @@ let refresh_shapes () =
     Datagen.apply_groups_delta db
       (Datagen.groups_delta_rows ~domain gen ~rows:delta)
   in
+  let id (f : Openivm.Flags.t) = f in
   let groups name view =
-    { shape_name = name;
+    { shape_name = name; shape_upstreams = [];
       shape_view = "CREATE MATERIALIZED VIEW bench_v AS " ^ view;
-      shape_setup = groups_setup; shape_delta = groups_delta }
+      shape_setup = groups_setup; shape_delta = groups_delta;
+      shape_flags = id; shape_upstream_flags = id }
+  in
+  (* cascaded shapes: the benchmarked view reads a maintained view, so a
+     timed refresh pulls the upstream first and then folds the captured
+     delta-of-the-view (the paper's views-on-views composition) *)
+  let cascade name ~upstreams view =
+    { (groups name view) with shape_upstreams = upstreams }
+  in
+  (* duplicate-heavy churn: every rep inserts a marked batch and deletes
+     it again, four times over. The eager flat upstream replays each
+     round into bench_v's delta table, so the pending delta is almost
+     entirely +/- pairs — exactly what the Z-set consolidation pass
+     cancels. Benchmarked twice, with consolidation on and off, so
+     BENCH_refresh.json carries the measured win. *)
+  let churn_delta db _gen =
+    for _ = 1 to 4 do
+      let values =
+        String.concat ", "
+          (List.init delta (fun i ->
+               Printf.sprintf "('%s', 1000777)" (Datagen.group_key (i mod domain))))
+      in
+      ignore (Database.exec db ("INSERT INTO groups VALUES " ^ values));
+      ignore (Database.exec db "DELETE FROM groups WHERE group_value = 1000777")
+    done
+  in
+  let churn name flags_tweak =
+    { shape_name = name;
+      shape_upstreams =
+        [ "CREATE MATERIALIZED VIEW bench_u1 AS \
+           SELECT group_index, group_value FROM groups" ];
+      shape_view =
+        "CREATE MATERIALIZED VIEW bench_v AS SELECT group_index, \
+         SUM(group_value) AS total_value, COUNT(*) AS n FROM bench_u1 \
+         GROUP BY group_index";
+      shape_setup = groups_setup; shape_delta = churn_delta;
+      shape_flags = flags_tweak;
+      shape_upstream_flags =
+        (fun f -> { f with Openivm.Flags.refresh = Openivm.Flags.Eager }) }
   in
   let customers = max 50 (base / 40) in
   let join_setup db gen =
@@ -626,11 +671,32 @@ let refresh_shapes () =
     groups "global_agg"
       "SELECT SUM(group_value) AS total, COUNT(*) AS n FROM groups";
     { shape_name = "join_agg";
+      shape_upstreams = [];
       shape_view =
         "CREATE MATERIALIZED VIEW bench_v AS SELECT customers.region, \
          SUM(sales.amount) AS total FROM sales JOIN customers ON sales.cust \
          = customers.cust GROUP BY customers.region";
-      shape_setup = join_setup; shape_delta = join_delta } ]
+      shape_setup = join_setup; shape_delta = join_delta;
+      shape_flags = id; shape_upstream_flags = id };
+    cascade "cascade_2level"
+      ~upstreams:
+        [ "CREATE MATERIALIZED VIEW bench_u1 AS SELECT group_index, \
+           SUM(group_value) AS total_value, COUNT(*) AS n FROM groups \
+           GROUP BY group_index" ]
+      "SELECT SUM(total_value) AS grand_total, COUNT(*) AS n_groups \
+       FROM bench_u1";
+    cascade "cascade_3level"
+      ~upstreams:
+        [ "CREATE MATERIALIZED VIEW bench_u1 AS SELECT group_index, \
+           group_value FROM groups WHERE group_value > 250";
+          "CREATE MATERIALIZED VIEW bench_u2 AS SELECT group_index, \
+           SUM(group_value) AS total_value, COUNT(*) AS n FROM bench_u1 \
+           GROUP BY group_index" ]
+      "SELECT SUM(total_value) AS grand_total, COUNT(*) AS n_groups \
+       FROM bench_u2";
+    churn "cascade_dup_churn" id;
+    churn "cascade_dup_churn_noconsol"
+      (fun f -> { f with Openivm.Flags.consolidate_deltas = false }) ]
 
 let refresh_strategies =
   [ Openivm.Flags.Upsert_linear; Openivm.Flags.Union_regroup;
@@ -693,9 +759,26 @@ let refresh_bench () =
               let gen = Datagen.create ~seed:99 () in
               sh.shape_setup db gen;
               let flags = { Openivm.Flags.default with strategy } in
-              match Openivm.Runner.install ~flags db sh.shape_view with
+              let install_stack () =
+                let upstreams =
+                  List.fold_left
+                    (fun acc sql ->
+                       Openivm.Runner.install
+                         ~flags:(sh.shape_upstream_flags flags)
+                         ~registry:(List.rev acc) db sql
+                       :: acc)
+                    [] sh.shape_upstreams
+                in
+                let registry = List.rev upstreams in
+                let v =
+                  Openivm.Runner.install ~flags:(sh.shape_flags flags)
+                    ~registry db sh.shape_view
+                in
+                (registry, v)
+              in
+              match install_stack () with
               | exception Openivm.Compiler.Unsupported_view _ -> "n/a"
-              | v ->
+              | (upstreams, v) ->
                 let times =
                   List.init reps (fun _ ->
                       sh.shape_delta db gen;
@@ -703,8 +786,11 @@ let refresh_bench () =
                           Openivm.Runner.force_refresh v))
                 in
                 let converged =
-                  Openivm.Runner.visible_rows v
-                  = Openivm.Runner.recompute_rows v
+                  List.for_all
+                    (fun u ->
+                       Openivm.Runner.visible_rows u
+                       = Openivm.Runner.recompute_rows u)
+                    (upstreams @ [ v ])
                 in
                 let name = Openivm.Flags.strategy_to_string strategy in
                 if not converged then

@@ -49,6 +49,14 @@ let base_tables t =
   List.map (fun (b : Shape.table_ref) -> b.Shape.table)
     (Shape.base_tables t.shape)
 
+(** The sources that are themselves maintained materialized views — the
+    upstream edges of the cascade DAG. *)
+let upstream_views t =
+  List.filter_map
+    (fun (b : Shape.table_ref) ->
+       if b.Shape.from_view then Some b.Shape.table else None)
+    (Shape.base_tables t.shape)
+
 let multiplicity_column t = t.flags.Flags.multiplicity_column
 
 (* --- emission helpers --- *)
@@ -104,6 +112,15 @@ let compile_select ?(flags = Flags.default) (catalog : Catalog.t)
     | Ok shape -> shape
     | Error d -> unsupported d
   in
+  let depends_on =
+    List.map (fun (b : Shape.table_ref) -> b.Shape.table)
+      (Shape.base_tables shape)
+  in
+  (match Catalog.mat_cycle catalog ~name:view_name ~depends_on with
+   | Some path ->
+     unsupported
+       (Openivm_sql.Diagnostic.cascade_cycle ~view:view_name ~path ())
+   | None -> ());
   (* plan through the engine (parser/planner/optimizer reuse, Figure 1) *)
   let logical_plan =
     Optimizer.optimize catalog (Planner.plan catalog query)
@@ -120,7 +137,7 @@ let compile_select ?(flags = Flags.default) (catalog : Catalog.t)
       trigger_sql = Trigger_gen.all flags shape }
   in
   let metadata_dml =
-    Metadata.register flags shape ~view_sql
+    Metadata.register flags shape ~view_sql ~depends_on
       ~logical_plan:(Plan.to_string logical_plan)
       ~scripts:(script_steps t0)
   in

@@ -41,6 +41,11 @@ val delta_view : t -> string
 (** Name of the ΔV table. *)
 
 val base_tables : t -> string list
+
+val upstream_views : t -> string list
+(** The subset of {!base_tables} that are maintained materialized views —
+    the upstream edges of the cascade DAG. *)
+
 val multiplicity_column : t -> string
 
 val stmt_sql : t -> Ast.stmt -> string

@@ -62,6 +62,12 @@ type t = {
           demo accepts. *)
   script_dir : string option;
       (** where to store propagation scripts on disk, if anywhere *)
+  consolidate_deltas : bool;
+      (** run the Z-set consolidation pass before propagation: cancel
+          +/- multiplicity pairs and merge duplicate delta rows, so a hot
+          base table (or a swap-strategy upstream view rewriting itself
+          wholesale) feeds downstream views a net delta instead of raw
+          churn *)
 }
 
 let default = {
@@ -73,6 +79,7 @@ let default = {
   create_indexes = true;
   paper_compat = false;
   script_dir = None;
+  consolidate_deltas = true;
 }
 
 (** Flags reproducing the paper's demonstrated configuration. *)

@@ -36,7 +36,8 @@ let ddl : Ast.stmt list =
         coldef "strategy" Ast.T_text;
         coldef "dialect" Ast.T_text;
         coldef "group_columns" Ast.T_text;
-        coldef "logical_plan" Ast.T_text ];
+        coldef "logical_plan" Ast.T_text;
+        coldef "depends_on" Ast.T_text ];
     create_table ~if_not_exists:true scripts_table
       ~primary_key:[ "view_name"; "step" ]
       [ coldef "view_name" Ast.T_text;
@@ -45,7 +46,8 @@ let ddl : Ast.stmt list =
         coldef "sql" Ast.T_text ] ]
 
 let register (flags : Flags.t) (shape : Shape.t) ~(view_sql : string)
-    ~(logical_plan : string) ~(scripts : (string * string) list) : Ast.stmt list =
+    ~(depends_on : string list) ~(logical_plan : string)
+    ~(scripts : (string * string) list) : Ast.stmt list =
   let row =
     [ str_lit shape.Shape.view_name;
       str_lit view_sql;
@@ -53,7 +55,8 @@ let register (flags : Flags.t) (shape : Shape.t) ~(view_sql : string)
       str_lit (Flags.strategy_to_string flags.Flags.strategy);
       str_lit flags.Flags.dialect.Openivm_sql.Dialect.name;
       str_lit (String.concat "," (List.map snd (Shape.group_cols shape)));
-      str_lit logical_plan ]
+      str_lit logical_plan;
+      str_lit (String.concat "," depends_on) ]
   in
   let script_rows =
     List.mapi

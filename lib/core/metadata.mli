@@ -26,7 +26,10 @@ val watermark_query : source:string -> string
     nothing applied yet). *)
 
 val register :
-  Flags.t -> Shape.t -> view_sql:string -> logical_plan:string ->
-  scripts:(string * string) list -> Ast.stmt list
+  Flags.t -> Shape.t -> view_sql:string -> depends_on:string list ->
+  logical_plan:string -> scripts:(string * string) list -> Ast.stmt list
+(** [depends_on] lists the view's sources (base tables and upstream
+    materialized views) — the cascade DAG edges, comma-joined in the
+    metadata row. *)
 
 val unregister : string -> Ast.stmt list

@@ -32,27 +32,35 @@ let kind_to_string = function
   | Rederive -> "rederive"
   | Full -> "full"
 
+(* MIN/MAX are not invertible at all; SUM/AVG over float arguments are
+   not invertible *numerically* (retracting a previously added float
+   leaves last-bit residue that a full recompute never shows). Both
+   classes must rederive affected groups rather than update running
+   state in place. *)
+let non_invertible (shape : Shape.t) : bool =
+  Shape.has_min_max shape || Shape.has_float_sum shape
+
 let plan_kind (flags : Flags.t) (shape : Shape.t) : plan_kind =
   match flags.Flags.strategy with
   | Flags.Full_recompute -> Full
   | Flags.Rederive_affected ->
     if Shape.is_global shape then Full else Rederive
   | Flags.Union_regroup ->
-    if Shape.has_min_max shape then
+    if non_invertible shape then
       if Shape.is_global shape then Full else Rederive
     else if flags.Flags.paper_compat then
       (* paper-compat has no stage/state columns; fall back to Listing 2 *)
       if Shape.is_global shape then Full else Linear
     else Regroup
   | Flags.Outer_join_merge ->
-    if Shape.has_min_max shape then
+    if non_invertible shape then
       if Shape.is_global shape then Full else Rederive
     else if flags.Flags.paper_compat then
       if Shape.is_global shape then Full else Linear
     else if Shape.is_global shape then Global_linear
     else Outer_merge
   | Flags.Upsert_linear ->
-    if Shape.has_min_max shape then
+    if non_invertible shape then
       if Shape.is_global shape then Full else Rederive
     else if Shape.is_global shape then Global_linear
     else Linear

@@ -18,9 +18,24 @@ type view = {
   mutable refresh_count : int;
   mutable refresh_time : float;   (** total seconds spent propagating *)
   mutable capture_enabled : bool;
+  mutable upstreams : view list;
+      (** maintained views this view reads (cascade DAG parents) *)
+  mutable downstreams : view list;
+      (** maintained views reading this view (cascade DAG children) *)
+  mutable in_refresh : bool;
+      (** propagation in flight — re-entrant refreshes become no-ops and
+          eager downstream refreshes wait for the post-refresh pass *)
 }
 
 let view_name v = v.compiled.Compiler.shape.Shape.view_name
+
+(** 0 for views over base tables only; 1 + the deepest upstream level
+    otherwise. Attached to refresh spans so profiles attribute time per
+    DAG level. *)
+let rec dag_level v =
+  match v.upstreams with
+  | [] -> 0
+  | ups -> 1 + List.fold_left (fun acc u -> max acc (dag_level u)) 0 ups
 
 let exec_stmts db stmts =
   List.iter (fun stmt -> ignore (Database.exec_stmt db stmt)) stmts
@@ -28,13 +43,21 @@ let exec_stmts db stmts =
 (* --- delta capture --- *)
 
 (** Append changed rows into delta_T with the boolean multiplicity. Runs
-    with hooks disabled so IVM's own writes never re-trigger capture. *)
+    with hooks disabled so IVM's own writes never re-trigger capture.
+    When the base is itself a maintained view, its backing rows carry
+    hidden IVM state after the visible prefix — the delta table is
+    declared over the visible columns only, so project the row down to
+    the delta table's width. *)
 let capture v (base_table : string) (change : Trigger.change) =
   if v.capture_enabled then begin
     let delta_name = Compiler.delta_table v.compiled base_table in
     let delta = Catalog.find_table (Database.catalog v.db) delta_name in
+    let width = Table.arity delta - 1 in
     Trigger.without_hooks (Database.triggers v.db) (fun () ->
         let emit mult row =
+          let row =
+            if Array.length row = width then row else Array.sub row 0 width
+          in
           Table.insert delta (Array.append row [| Value.Bool mult |]);
           v.pending_deltas <- v.pending_deltas + 1
         in
@@ -61,6 +84,87 @@ let m_delta_rows_folded =
   Metrics.counter "openivm_delta_rows_folded_total"
     ~help:"captured delta rows consumed by refreshes"
 
+let m_consolidated_rows =
+  Metrics.counter "openivm_consolidated_rows_total"
+    ~help:"delta rows cancelled or merged by the Z-set consolidation pass"
+
+(* --- Z-set delta consolidation --- *)
+
+(** Coalesce each pending delta table to its net Z-set: sum the signed
+    multiplicities per distinct row and rewrite the table as |weight|
+    copies per surviving row. +/- pairs cancel outright, so a hot base
+    table — or a swap-strategy upstream view that rewrote itself
+    wholesale — feeds propagation a net delta instead of raw churn. *)
+let consolidate_delta_table (delta : Table.t) : int =
+  let before = Table.row_count delta in
+  if before < 2 then 0
+  else begin
+    let width = Table.arity delta - 1 in
+    let weights : int Row.Tbl.t = Row.Tbl.create 64 in
+    let order = ref [] in
+    Table.iter_rows
+      (fun row ->
+         let prefix = Array.sub row 0 width in
+         let sign =
+           match row.(width) with Value.Bool false -> -1 | _ -> 1
+         in
+         (match Row.Tbl.find_opt weights prefix with
+          | Some w -> Row.Tbl.replace weights prefix (w + sign)
+          | None ->
+            Row.Tbl.add weights prefix sign;
+            order := prefix :: !order))
+      delta;
+    let after =
+      List.fold_left
+        (fun acc prefix -> acc + abs (Row.Tbl.find weights prefix))
+        0 !order
+    in
+    if after >= before then 0
+    else begin
+      ignore (Table.truncate delta);
+      List.iter
+        (fun prefix ->
+           let w = Row.Tbl.find weights prefix in
+           let row = Array.append prefix [| Value.Bool (w > 0) |] in
+           for _ = 1 to abs w do Table.insert delta row done)
+        (List.rev !order);
+      before - after
+    end
+  end
+
+let consolidate v =
+  (* fewer than two pending rows can neither cancel nor merge; a Full
+     plan never reads its deltas (cleanup just discards them), so
+     consolidating first would be pure overhead *)
+  if v.compiled.Compiler.flags.Flags.consolidate_deltas
+     && v.pending_deltas > 1
+     && v.compiled.Compiler.script.Propagate.kind <> Propagate.Full
+  then
+    Span.with_span "cascade.consolidate"
+      ~attrs:[ ("view", Span.Str (view_name v)) ]
+      (fun sp ->
+         let catalog = Database.catalog v.db in
+         let before = v.pending_deltas in
+         let removed =
+           Trigger.without_hooks (Database.triggers v.db) (fun () ->
+               List.fold_left
+                 (fun acc base ->
+                    acc
+                    + consolidate_delta_table
+                        (Catalog.find_table catalog
+                           (Compiler.delta_table v.compiled base)))
+                 0
+                 (Compiler.base_tables v.compiled))
+         in
+         if removed > 0 then begin
+           v.pending_deltas <- v.pending_deltas - removed;
+           Metrics.add m_consolidated_rows removed
+         end;
+         if sp != Span.none then begin
+           Span.set_int sp "rows_before" before;
+           Span.set_int sp "rows_after" v.pending_deltas
+         end)
+
 (** One propagation step (paper §2 steps 1–4) under its own span, with
     statement count and the engine's row counters attributed to it. *)
 let run_step v name stmts =
@@ -75,8 +179,26 @@ let run_step v name stmts =
           Span.set_int sp "rows_read" (p.Database.rows_read - r0)
         end)
 
-let force_refresh v =
-  let t0 = Unix.gettimeofday () in
+module Clock = Openivm_obs.Clock
+
+(** Propagate this view's pending deltas, cascade-aware:
+
+    - upstream maintained views refresh first (topological pull), so the
+      fill step joins against current upstream contents;
+    - the steps run with trigger hooks {e enabled} — unlike a leaf
+      refresh of old, the writes to V's backing table are exactly ΔV, and
+      downstream views capture them like any base-table delta (the DBSP
+      composition point);
+    - a Z-set consolidation pass first cancels +/- pairs and merges
+      duplicate delta rows ({!Flags.consolidate_deltas});
+    - eager downstream views refresh in a post-pass once this refresh is
+      complete (never mid-flight — [in_refresh] gates re-entrancy).
+
+    Capture never re-triggers itself: no hooks are registered on delta,
+    stage or metadata tables, and {!capture}'s own inserts run under
+    [without_hooks]. *)
+let rec force_refresh_local v =
+  let t0 = Clock.now () in
   let script = v.compiled.Compiler.script in
   let strategy =
     Flags.strategy_to_string v.compiled.Compiler.flags.Flags.strategy
@@ -86,32 +208,76 @@ let force_refresh v =
       [ ("view", Span.Str (view_name v));
         ("strategy", Span.Str strategy);
         ("plan", Span.Str (Propagate.kind_to_string script.Propagate.kind));
-        ("pending_deltas", Span.Int v.pending_deltas) ]
+        ("pending_deltas", Span.Int v.pending_deltas);
+        ("dag_level", Span.Int (dag_level v)) ]
     (fun _ ->
-       Trigger.without_hooks (Database.triggers v.db) (fun () ->
-           run_step v "fill" script.Propagate.fill;
-           run_step v "combine" script.Propagate.combine;
-           run_step v "prune" script.Propagate.prune;
-           run_step v "cleanup" script.Propagate.cleanup));
-  Metrics.incr (m_refresh_total strategy);
-  Metrics.add m_delta_rows_folded v.pending_deltas;
-  v.pending_deltas <- 0;
-  v.refresh_count <- v.refresh_count + 1;
-  let dt = Unix.gettimeofday () -. t0 in
-  Metrics.observe (m_refresh_seconds strategy) dt;
-  v.refresh_time <- v.refresh_time +. dt
+       v.in_refresh <- true;
+       Fun.protect
+         ~finally:(fun () -> v.in_refresh <- false)
+         (fun () ->
+            consolidate v;
+            run_step v "fill" script.Propagate.fill;
+            run_step v "combine" script.Propagate.combine;
+            run_step v "prune" script.Propagate.prune;
+            run_step v "cleanup" script.Propagate.cleanup;
+            Metrics.incr (m_refresh_total strategy);
+            Metrics.add m_delta_rows_folded v.pending_deltas;
+            v.pending_deltas <- 0;
+            v.refresh_count <- v.refresh_count + 1;
+            let dt = Clock.now () -. t0 in
+            Metrics.observe (m_refresh_seconds strategy) dt;
+            v.refresh_time <- v.refresh_time +. dt;
+            (* the steps above fed ΔV to downstream delta tables; fold it
+               into eager dependents now that V is consistent (we stay
+               marked in_refresh so their upstream pull skips us) *)
+            match v.downstreams with
+            | [] -> ()
+            | ds ->
+              Span.with_span "cascade.downstream"
+                ~attrs:[ ("view", Span.Str (view_name v)) ]
+                (fun _ ->
+                   List.iter
+                     (fun d ->
+                        if d.compiled.Compiler.flags.Flags.refresh
+                           = Flags.Eager
+                        then refresh d)
+                     ds)))
 
-let refresh v =
-  if v.pending_deltas > 0
-     || v.compiled.Compiler.script.Propagate.kind = Propagate.Full
-  then force_refresh v
+and refresh_upstreams v =
+  match v.upstreams with
+  | [] -> ()
+  | ups ->
+    Span.with_span "cascade.upstream"
+      ~attrs:[ ("view", Span.Str (view_name v)) ]
+      (fun _ -> List.iter refresh ups)
+
+and refresh v =
+  if not v.in_refresh then begin
+    refresh_upstreams v;
+    if v.pending_deltas > 0
+       || v.compiled.Compiler.script.Propagate.kind = Propagate.Full
+    then force_refresh_local v
+  end
+
+let force_refresh v =
+  if not v.in_refresh then begin
+    refresh_upstreams v;
+    force_refresh_local v
+  end
+
+(** Deferred eager refresh: runs after the outermost trigger dispatch so
+    a view over both a base table and an upstream view sees all of a
+    statement's deltas at once. Skipped while an upstream is mid-refresh
+    — that upstream's post-pass picks us up. *)
+let eager_refresh v =
+  if not (List.exists (fun u -> u.in_refresh) v.upstreams) then refresh v
 
 (** Rebuild the view from the base tables as they stand now: discard all
     pending deltas, truncate the view's backing table, and rerun the
     initial load. The recovery path of last resort — equivalent to
     dropping and re-creating the view, but keeping triggers, metadata and
     compiled scripts in place. *)
-let reinitialize v =
+let rec reinitialize v =
   let catalog = Database.catalog v.db in
   Trigger.without_hooks (Database.triggers v.db) (fun () ->
       ignore (Table.truncate (Catalog.find_table catalog (view_name v)));
@@ -123,13 +289,19 @@ let reinitialize v =
                    (Compiler.delta_table v.compiled base))))
         (Compiler.base_tables v.compiled);
       exec_stmts v.db [ v.compiled.Compiler.initial_load ]);
-  v.pending_deltas <- 0
+  v.pending_deltas <- 0;
+  (* the rebuild ran hook-free, so dependents saw none of it: rebuild
+     them too, in DAG order (each reads its freshly rebuilt upstream) *)
+  List.iter reinitialize v.downstreams
 
-(** Query the view, honoring the refresh mode (lazy refresh-on-read). *)
+(** Query the view, honoring the refresh mode (lazy refresh-on-read).
+    A view with upstreams always pulls first: an eager view over a lazy
+    upstream would otherwise never observe the upstream's pending
+    deltas. *)
 let query v (sql : string) : Database.query_result =
   (match v.compiled.Compiler.flags.Flags.refresh with
    | Flags.Lazy -> refresh v
-   | Flags.Eager -> ());
+   | Flags.Eager -> if v.upstreams <> [] then refresh v);
   Database.query v.db sql
 
 let contents ?(order_by = "") v : Database.query_result =
@@ -190,7 +362,8 @@ let store_scripts_on_disk (compiled : Compiler.t) =
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc (Compiler.full_sql compiled))
 
-let install ?(flags = Flags.default) (db : Database.t) (sql : string) : view =
+let install ?(flags = Flags.default) ?(registry = []) (db : Database.t)
+    (sql : string) : view =
   let compiled =
     Span.with_span "install" (fun sp ->
         let compiled =
@@ -209,10 +382,27 @@ let install ?(flags = Flags.default) (db : Database.t) (sql : string) : view =
         compiled)
   in
   store_scripts_on_disk compiled;
+  let shape = compiled.Compiler.shape in
+  Catalog.register_mat_view (Database.catalog db)
+    { Catalog.mat_name = shape.Shape.view_name;
+      mat_visible = Shape.visible_names shape;
+      mat_flat = not (Shape.has_aggregates shape);
+      mat_depends_on = Compiler.base_tables compiled };
   let v =
     { compiled; db; pending_deltas = 0; refresh_count = 0;
-      refresh_time = 0.0; capture_enabled = true }
+      refresh_time = 0.0; capture_enabled = true;
+      upstreams = []; downstreams = []; in_refresh = false }
   in
+  (* wire the cascade DAG: sources that are maintained views become
+     upstream/downstream links when the caller hands us their handles *)
+  let ups =
+    List.filter_map
+      (fun name ->
+         List.find_opt (fun u -> String.equal (view_name u) name) registry)
+      (Compiler.upstream_views compiled)
+  in
+  v.upstreams <- ups;
+  List.iter (fun u -> u.downstreams <- u.downstreams @ [ v ]) ups;
   List.iter
     (fun base ->
        Trigger.register (Database.triggers db) ~table:base
@@ -220,14 +410,31 @@ let install ?(flags = Flags.default) (db : Database.t) (sql : string) : view =
          (fun change ->
             capture v base change;
             match compiled.Compiler.flags.Flags.refresh with
-            | Flags.Eager -> refresh v
+            | Flags.Eager ->
+              Trigger.defer (Database.triggers db) (fun () -> eager_refresh v)
             | Flags.Lazy -> ()))
     (Compiler.base_tables compiled);
   v
 
 let uninstall v =
   let db = v.db in
+  let catalog = Database.catalog db in
+  (match Catalog.mat_dependents catalog (view_name v) with
+   | [] -> ()
+   | dependents ->
+     let d =
+       Openivm_sql.Diagnostic.cascade_dependents ~view:(view_name v)
+         ~dependents ()
+     in
+     Error.fail "%s: %s" d.Openivm_sql.Diagnostic.code
+       d.Openivm_sql.Diagnostic.message);
   v.capture_enabled <- false;
+  List.iter
+    (fun u ->
+       u.downstreams <- List.filter (fun d -> not (d == v)) u.downstreams)
+    v.upstreams;
+  v.upstreams <- [];
+  Catalog.unregister_mat_view catalog (view_name v);
   List.iter
     (fun base ->
        Trigger.unregister (Database.triggers db)
@@ -268,7 +475,8 @@ let refresh_for_query ext (q : Ast.select) =
   let touched = Ast.select_tables q in
   List.iter
     (fun v ->
-       if v.compiled.Compiler.flags.Flags.refresh = Flags.Lazy
+       if (v.compiled.Compiler.flags.Flags.refresh = Flags.Lazy
+           || v.upstreams <> [])
           && List.mem (view_name v) touched
        then refresh v)
     ext.ext_views
@@ -281,7 +489,7 @@ let exec_ext (ext : extension) (sql : string) :
   [ `Result of Database.exec_result | `Installed of view ] =
   match Openivm_sql.Parser.parse_statement sql with
   | Ast.Create_view { materialized = true; _ } ->
-    let v = install ~flags:ext.ext_flags ext.ext_db sql in
+    let v = install ~flags:ext.ext_flags ~registry:ext.ext_views ext.ext_db sql in
     ext.ext_views <- v :: ext.ext_views;
     `Installed v
   | Ast.Select_stmt q as stmt ->
@@ -295,6 +503,14 @@ let exec_ext (ext : extension) (sql : string) :
          List.filter (fun w -> not (String.equal (view_name w) name)) ext.ext_views;
        `Result (Database.Ok_msg (Printf.sprintf "dropped materialized view %s" name))
      | None -> assert false)
+  | Ast.Insert { table; _ } | Ast.Update { table; _ } | Ast.Delete { table; _ }
+  | Ast.Truncate table
+    when find_view ext table <> None ->
+    (* direct DML against a maintained backing table would desynchronize
+       the view (and silently corrupt everything downstream of it) *)
+    let d = Openivm_sql.Diagnostic.cascade_dml_on_view ~view:table () in
+    Error.fail "%s: %s" d.Openivm_sql.Diagnostic.code
+      d.Openivm_sql.Diagnostic.message
   | stmt -> `Result (Database.exec_stmt ext.ext_db stmt)
 
 (** One-shot variant when no extension state is at hand. *)

@@ -13,23 +13,43 @@ type view = {
   db : Database.t;
   mutable pending_deltas : int;
   mutable refresh_count : int;
-  mutable refresh_time : float;   (** total seconds spent propagating *)
+  mutable refresh_time : float;
+      (** total seconds spent propagating, measured through the
+          injectable {!Openivm_obs.Clock} *)
   mutable capture_enabled : bool;
+  mutable upstreams : view list;
+      (** maintained views this view reads (cascade DAG parents) *)
+  mutable downstreams : view list;
+      (** maintained views reading this view (cascade DAG children) *)
+  mutable in_refresh : bool;
+      (** propagation in flight (re-entrancy guard) *)
 }
 
 val view_name : view -> string
 
-val install : ?flags:Flags.t -> Database.t -> string -> view
-(** Compile and install a [CREATE MATERIALIZED VIEW] statement. *)
+val dag_level : view -> int
+(** 0 for a view over base tables only; 1 + deepest upstream otherwise. *)
+
+val install : ?flags:Flags.t -> ?registry:view list -> Database.t -> string -> view
+(** Compile and install a [CREATE MATERIALIZED VIEW] statement. The view
+    definition may reference previously installed materialized views;
+    pass their handles as [registry] so the cascade DAG links up (the
+    {!extension} does this automatically). Registers the view in the
+    catalog's materialized-view registry; cycles raise
+    {!Compiler.Unsupported_view} with diagnostic IVM201. *)
 
 val uninstall : view -> unit
-(** Unregister capture, drop the view's tables, clear its metadata. *)
+(** Unregister capture, drop the view's tables, clear its metadata.
+    Raises {!Openivm_engine.Error.Sql_error} (IVM202) while maintained
+    views still depend on this one. *)
 
 val refresh : view -> unit
-(** Run the propagation script if deltas are pending. *)
+(** Refresh upstream views first (topological pull), then run the
+    propagation script if deltas are pending. Eager downstream views are
+    refreshed in a post-pass. *)
 
 val force_refresh : view -> unit
-(** Run the propagation script unconditionally. *)
+(** Like {!refresh} but runs this view's propagation unconditionally. *)
 
 val reinitialize : view -> unit
 (** Rebuild the view from the base tables as they stand now: truncate the

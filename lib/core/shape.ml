@@ -31,6 +31,10 @@ type table_ref = {
   table : string;
   binding : string;  (** alias used in the view query ("t" if none) *)
   schema : Schema.t;
+  from_view : bool;
+      (** the source is itself a maintained materialized view; [schema]
+          is then restricted to its visible column prefix, hiding the IVM
+          bookkeeping columns from the downstream definition *)
 }
 
 type source =
@@ -94,9 +98,23 @@ let base_tables shape =
 
 let table_ref_of catalog name alias : table_ref =
   let tbl = Catalog.find_table catalog name in
+  (* A maintained view's backing table lays out its visible columns
+     first, then hidden IVM state; downstream views see only the visible
+     prefix — the DBSP composition point where ΔV feeds the next view. *)
+  let schema, from_view =
+    match Catalog.find_mat_view catalog name with
+    | Some mv ->
+      ( List.filter
+          (fun (c : Schema.column) ->
+             List.exists (String.equal c.Schema.name) mv.Catalog.mat_visible)
+          tbl.Table.schema,
+        true )
+    | None -> (tbl.Table.schema, false)
+  in
   { table = name;
     binding = Option.value alias ~default:name;
-    schema = Schema.requalify tbl.Table.schema (Option.value alias ~default:name) }
+    schema = Schema.requalify schema (Option.value alias ~default:name);
+    from_view }
 
 (** First derived table under a FROM clause, for span attachment. *)
 let rec find_derived = function
@@ -156,6 +174,25 @@ let input_schema source =
   | Single t -> t.schema
   | Joined { tables; _ } ->
     List.concat_map (fun t -> t.schema) tables
+
+(** SUM/AVG whose argument is not integer-typed. Their running state is a
+    float, and float addition is not exactly invertible (x + d - d can
+    differ from x in the last bits), so any linear combine strategy
+    drifts away from a full recompute once deletes retract previously
+    added values. Like MIN/MAX, such aggregates must be rederived. This
+    matters most for cascades, where an upstream AVG column feeds a
+    downstream SUM/AVG. *)
+let has_float_sum shape =
+  let schema = input_schema shape.source in
+  List.exists
+    (fun a ->
+       match a.agg, a.arg with
+       | (Ast.Sum | Ast.Avg), Some arg ->
+         (match Expr.infer_type schema arg with
+          | Ast.T_int -> false
+          | _ -> true)
+       | _ -> false)
+    (aggregates shape)
 
 (** The hidden state columns an aggregate needs under the linear strategy. *)
 let state_columns_for ~visible_name (agg : Ast.agg) =
@@ -324,6 +361,29 @@ let analyze_diag (catalog : Catalog.t) ?(spans = Parser.no_spans)
       in
       Error (Diagnostic.duplicate_column ?span name)
     | None -> Ok ()
+  in
+  (* When a source is itself a maintained view, bake the star expansion
+     into the stored query: the engine's planner would otherwise expand
+     [*] over the backing table's hidden IVM columns (initial load and
+     recompute both execute this query verbatim). *)
+  let query =
+    let reads_view =
+      List.exists
+        (fun (t : table_ref) -> t.from_view)
+        (match source with Single t -> [ t ] | Joined { tables; _ } -> tables)
+    in
+    let had_star =
+      List.exists
+        (fun (e, _) ->
+           match e with
+           | Ast.Star | Ast.Column (_, "*") -> true
+           | _ -> false)
+        query.Ast.projections
+    in
+    if reads_view && had_star then
+      { query with
+        Ast.projections = List.map (fun (e, n) -> (e, Some n)) named }
+    else query
   in
   Ok { view_name; query; klass; columns; source; where = query.Ast.where }
 

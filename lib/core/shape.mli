@@ -23,6 +23,9 @@ type table_ref = {
   table : string;
   binding : string;
   schema : Schema.t;  (** requalified with the binding *)
+  from_view : bool;
+      (** source is a maintained materialized view; [schema] is its
+          visible column prefix (hidden IVM state excluded) *)
 }
 
 type source =
@@ -53,6 +56,11 @@ val group_cols : t -> (Ast.expr * string) list
 val aggregates : t -> aggregate_item list
 val has_aggregates : t -> bool
 val has_min_max : t -> bool
+
+(** SUM/AVG over a non-integer argument. Float running state is not
+    exactly invertible under retraction, so these route to rederive /
+    full recompute exactly like MIN/MAX (see {!Openivm.Propagate}). *)
+val has_float_sum : t -> bool
 val is_global : t -> bool
 val visible_names : t -> string list
 val base_tables : t -> table_ref list

@@ -10,16 +10,26 @@ type view_def = {
   sql : string;
 }
 
+type mat_view = {
+  mat_name : string;
+  mat_visible : string list;     (** visible output columns, in order *)
+  mat_flat : bool;               (** weighted flat view (hidden row count) *)
+  mat_depends_on : string list;  (** base tables and upstream mat views *)
+}
+
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   views : (string, view_def) Hashtbl.t;
   index_owner : (string, string) Hashtbl.t;  (** index name -> table name *)
+  mat_views : (string, mat_view) Hashtbl.t;
+      (** maintained materialized views, keyed by backing-table name *)
 }
 
 let create () = {
   tables = Hashtbl.create 16;
   views = Hashtbl.create 16;
   index_owner = Hashtbl.create 16;
+  mat_views = Hashtbl.create 16;
 }
 
 let table_exists t name = Hashtbl.mem t.tables name
@@ -75,3 +85,75 @@ let table_names t =
 let view_names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.views []
   |> List.sort String.compare
+
+(* --- the materialized-view dependency DAG (cascading IVM) --- *)
+
+let find_mat_view t name = Hashtbl.find_opt t.mat_views name
+let is_mat_view t name = Hashtbl.mem t.mat_views name
+
+let mat_view_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.mat_views []
+  |> List.sort String.compare
+
+(** Direct upstream materialized views of [name] (its dependencies that
+    are themselves maintained views; base tables are filtered out). *)
+let mat_upstreams t name =
+  match find_mat_view t name with
+  | None -> []
+  | Some mv -> List.filter (is_mat_view t) mv.mat_depends_on
+
+(** Maintained views that read [name] directly (as a base table or as an
+    upstream view). Sorted for determinism. *)
+let mat_dependents t name =
+  Hashtbl.fold
+    (fun dep mv acc ->
+       if List.exists (String.equal name) mv.mat_depends_on then dep :: acc
+       else acc)
+    t.mat_views []
+  |> List.sort String.compare
+
+(** Walk dependency edges from [name] through [depends_on]; return the
+    cycle path (ending back at [name]) that registering [name] with those
+    dependencies would create, if any. *)
+let mat_cycle t ~name ~depends_on : string list option =
+  let rec dfs path node =
+    if String.equal node name then Some (List.rev (node :: path))
+    else
+      match find_mat_view t node with
+      | None -> None
+      | Some mv ->
+        List.fold_left
+          (fun acc dep ->
+             match acc with Some _ -> acc | None -> dfs (node :: path) dep)
+          None mv.mat_depends_on
+  in
+  List.fold_left
+    (fun acc dep -> match acc with Some _ -> acc | None -> dfs [] dep)
+    None depends_on
+  |> Option.map (fun tail -> name :: tail)
+
+let register_mat_view t (mv : mat_view) =
+  (match mat_cycle t ~name:mv.mat_name ~depends_on:mv.mat_depends_on with
+   | Some cycle ->
+     Error.fail "materialized view %S would create a dependency cycle: %s"
+       mv.mat_name (String.concat " -> " cycle)
+   | None -> ());
+  Hashtbl.replace t.mat_views mv.mat_name mv
+
+let unregister_mat_view t name = Hashtbl.remove t.mat_views name
+
+(** All registered maintained views in topological order (upstreams
+    first). The registry is kept acyclic by {!register_mat_view}, so this
+    always succeeds; ties break on name for determinism. *)
+let mat_topo_order t : string list =
+  let visited = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec visit name =
+    if not (Hashtbl.mem visited name) then begin
+      Hashtbl.replace visited name ();
+      List.iter visit (mat_upstreams t name);
+      out := name :: !out
+    end
+  in
+  List.iter visit (mat_view_names t);
+  List.rev !out

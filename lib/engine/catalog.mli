@@ -35,3 +35,40 @@ val table_names : t -> string list
 
 val view_names : t -> string list
 (** Sorted. *)
+
+(** A maintained materialized view's catalog entry: its backing table is
+    an ordinary table whose first columns are the visible output columns
+    (hidden IVM state follows them); [mat_depends_on] holds the tables it
+    reads — base tables and upstream materialized views alike — forming
+    the cascade DAG. *)
+type mat_view = {
+  mat_name : string;
+  mat_visible : string list;
+  mat_flat : bool;
+  mat_depends_on : string list;
+}
+
+val find_mat_view : t -> string -> mat_view option
+val is_mat_view : t -> string -> bool
+
+val mat_view_names : t -> string list
+(** Sorted. *)
+
+val mat_upstreams : t -> string -> string list
+(** Direct dependencies of a view that are themselves maintained views. *)
+
+val mat_dependents : t -> string -> string list
+(** Maintained views reading [name] directly. Sorted. *)
+
+val mat_cycle : t -> name:string -> depends_on:string list -> string list option
+(** The dependency cycle that registering [name] over [depends_on] would
+    introduce, as a path starting and ending at [name]; [None] if acyclic. *)
+
+val register_mat_view : t -> mat_view -> unit
+(** Raises {!Error.Sql_error} when the registration would create a
+    dependency cycle. *)
+
+val unregister_mat_view : t -> string -> unit
+
+val mat_topo_order : t -> string list
+(** Every registered maintained view, upstreams before dependents. *)

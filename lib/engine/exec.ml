@@ -20,7 +20,12 @@ type agg_state =
   | Sum_st of { mutable sum_int : int; mutable sum_float : float;
                 mutable float_mode : bool; mutable saw : bool }
   | Extremum_st of { is_min : bool; mutable cur : Value.t }
-  | Avg_st of { mutable total : float; mutable n : int }
+  | Avg_st of { mutable sum_int : int; mutable sum_float : float;
+                mutable float_mode : bool; mutable n : int }
+      (** like [Sum_st]: integer inputs accumulate exactly and round once
+          at the final division (DuckDB's large-int AVG semantics and the
+          IVM path's hidden SUM/COUNT state both do the same); a float
+          accumulator would round on every addition *)
 
 let make_state (agg : Sql.Ast.agg) : agg_state =
   match agg with
@@ -29,7 +34,8 @@ let make_state (agg : Sql.Ast.agg) : agg_state =
     Sum_st { sum_int = 0; sum_float = 0.0; float_mode = false; saw = false }
   | Sql.Ast.Min -> Extremum_st { is_min = true; cur = Value.Null }
   | Sql.Ast.Max -> Extremum_st { is_min = false; cur = Value.Null }
-  | Sql.Ast.Avg -> Avg_st { total = 0.0; n = 0 }
+  | Sql.Ast.Avg ->
+    Avg_st { sum_int = 0; sum_float = 0.0; float_mode = false; n = 0 }
 
 let update_state st (v : Value.t option) =
   (* [None] argument = COUNT star (count the row regardless) *)
@@ -58,10 +64,20 @@ let update_state st (v : Value.t option) =
         let c = Value.compare v e.cur in
         if (e.is_min && c < 0) || ((not e.is_min) && c > 0) then e.cur <- v
   | Avg_st a, Some v ->
-    if not (Value.is_null v) then begin
-      a.total <- a.total +. Value.as_float v;
-      a.n <- a.n + 1
-    end
+    (match v with
+     | Value.Null -> ()
+     | Value.Int i ->
+       a.n <- a.n + 1;
+       if a.float_mode then a.sum_float <- a.sum_float +. float_of_int i
+       else a.sum_int <- a.sum_int + i
+     | Value.Float f ->
+       a.n <- a.n + 1;
+       if not a.float_mode then begin
+         a.float_mode <- true;
+         a.sum_float <- float_of_int a.sum_int
+       end;
+       a.sum_float <- a.sum_float +. f
+     | _ -> Error.fail "AVG over non-numeric value %s" (Value.to_string v))
   | (Sum_st _ | Extremum_st _ | Avg_st _), None ->
     Error.fail "only COUNT accepts *"
 
@@ -72,7 +88,13 @@ let finalize_state = function
     else if s.float_mode then Value.Float s.sum_float
     else Value.Int s.sum_int
   | Extremum_st e -> e.cur
-  | Avg_st a -> if a.n = 0 then Value.Null else Value.Float (a.total /. float_of_int a.n)
+  | Avg_st a ->
+    if a.n = 0 then Value.Null
+    else
+      let total =
+        if a.float_mode then a.sum_float else float_of_int a.sum_int
+      in
+      Value.Float (total /. float_of_int a.n)
 
 (* --- join support --- *)
 

@@ -18,9 +18,11 @@ type t = {
   mutable hooks : (string option * string * hook) list;
       (** (table filter, hook name, callback); None = all tables *)
   mutable enabled : bool;
+  mutable firing : bool;  (** inside the outermost {!fire} dispatch *)
+  mutable deferred : (unit -> unit) list;  (** run after that dispatch, LIFO *)
 }
 
-let create () = { hooks = []; enabled = true }
+let create () = { hooks = []; enabled = true; firing = false; deferred = [] }
 
 let register t ?table ~name hook =
   t.hooks <- (table, name, hook) :: t.hooks
@@ -28,14 +30,38 @@ let register t ?table ~name hook =
 let unregister t ~name =
   t.hooks <- List.filter (fun (_, n, _) -> not (String.equal n name)) t.hooks
 
+(** Postpone [f] until every hook of the current outermost {!fire}
+    dispatch has run (cascading IVM defers downstream refreshes this way,
+    so a view over both a base table and an upstream view sees all of the
+    statement's deltas in one refresh). Outside a dispatch, runs [f]
+    immediately. *)
+let defer t f = if t.firing then t.deferred <- f :: t.deferred else f ()
+
+let drain t =
+  let rec loop () =
+    match t.deferred with
+    | [] -> ()
+    | fs ->
+      t.deferred <- [];
+      List.iter (fun f -> f ()) (List.rev fs);
+      loop ()
+  in
+  loop ()
+
 let fire t (change : change) =
-  if t.enabled && (change.inserted <> [] || change.deleted <> []) then
-    List.iter
-      (fun (filter, _, hook) ->
-         match filter with
-         | Some tbl when not (String.equal tbl change.table) -> ()
-         | _ -> hook change)
-      (List.rev t.hooks)
+  if t.enabled && (change.inserted <> [] || change.deleted <> []) then begin
+    let outermost = not t.firing in
+    t.firing <- true;
+    Fun.protect
+      ~finally:(fun () -> if outermost then (t.firing <- false; drain t))
+      (fun () ->
+         List.iter
+           (fun (filter, _, hook) ->
+              match filter with
+              | Some tbl when not (String.equal tbl change.table) -> ()
+              | _ -> hook change)
+           (List.rev t.hooks))
+  end
 
 (** Run [f] with hooks disabled — used when the IVM runner itself mutates
     delta tables, which must not re-trigger capture. *)

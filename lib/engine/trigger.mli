@@ -21,7 +21,14 @@ val register : t -> ?table:string -> name:string -> hook -> unit
 val unregister : t -> name:string -> unit
 
 val fire : t -> change -> unit
-(** Invoke matching hooks (no-op for empty changes or when disabled). *)
+(** Invoke matching hooks (no-op for empty changes or when disabled).
+    When the dispatch is the outermost one, callbacks queued with
+    {!defer} run after the last hook returns. *)
+
+val defer : t -> (unit -> unit) -> unit
+(** Inside a {!fire} dispatch: queue [f] to run once the outermost
+    dispatch completes (cascade refresh ordering). Otherwise run [f]
+    now. *)
 
 val without_hooks : t -> (unit -> 'a) -> 'a
 (** Run with hooks disabled — the IVM runner's own writes must not

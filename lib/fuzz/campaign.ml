@@ -69,6 +69,7 @@ let summary (r : report) : string =
 
 module Span = Openivm_obs.Span
 module Metrics = Openivm_obs.Metrics
+module Clock = Openivm_obs.Clock
 
 let m_cases = Metrics.counter "fuzz_cases_total" ~help:"fuzz cases checked"
 let m_checks = Metrics.counter "fuzz_checks_total" ~help:"oracle checks run"
@@ -87,7 +88,7 @@ let m_shrink_attempts =
 let run (cfg : config) : report =
   let checks = ref 0 in
   let failures = ref [] in
-  let t_start = Unix.gettimeofday () in
+  let t_start = Clock.now () in
   let shrink_time = ref 0.0 in
   let campaign_span = Span.enter "fuzz.campaign" in
   for i = 0 to cfg.cases - 1 do
@@ -97,12 +98,12 @@ let run (cfg : config) : report =
         Case.strategies = cfg.strategies;
         dialects = cfg.dialects }
     in
-    let t_case = Unix.gettimeofday () in
+    let t_case = Clock.now () in
     let outcome =
       Span.with_span "fuzz.case" ~attrs:[ ("seed", Span.Int seed) ]
         (fun _ -> Oracle.run case)
     in
-    Metrics.observe m_case_seconds (Unix.gettimeofday () -. t_case);
+    Metrics.observe m_case_seconds (Clock.now () -. t_case);
     Metrics.incr m_cases;
     Metrics.add m_checks outcome.Oracle.checks;
     checks := !checks + outcome.Oracle.checks;
@@ -116,12 +117,12 @@ let run (cfg : config) : report =
                   failure.Oracle.message);
        let minimized, shrink_stats =
          if cfg.shrink then begin
-           let t_shrink = Unix.gettimeofday () in
+           let t_shrink = Clock.now () in
            let m, st =
              Span.with_span "fuzz.shrink" ~attrs:[ ("seed", Span.Int seed) ]
                (fun _ -> Shrink.minimize ~oracle:Oracle.first_failure case)
            in
-           let dt = Unix.gettimeofday () -. t_shrink in
+           let dt = Clock.now () -. t_shrink in
            shrink_time := !shrink_time +. dt;
            Metrics.observe m_shrink_seconds dt;
            Metrics.add m_shrink_attempts st.Shrink.attempts;
@@ -151,5 +152,5 @@ let run (cfg : config) : report =
   Span.finish campaign_span;
   { cases_run = cfg.cases; checks_run = !checks;
     failures = List.rev !failures;
-    elapsed_seconds = Unix.gettimeofday () -. t_start;
+    elapsed_seconds = Clock.now () -. t_start;
     shrink_seconds = !shrink_time }

@@ -14,8 +14,10 @@ type t = {
   max_steps : int;     (** workload length the generator was asked for *)
   note : string;       (** free-text provenance ("" = none) *)
   schema : string list;    (** CREATE TABLE statements *)
-  setup : string list;     (** DML executed before the view is installed *)
-  view : string option;    (** CREATE MATERIALIZED VIEW statement *)
+  setup : string list;     (** DML executed before the views are installed *)
+  views : string list;     (** CREATE MATERIALIZED VIEW statements, installed
+                               in order — later views may read earlier ones
+                               (a cascade stack) *)
   workload : string list;  (** DML steps; refresh + check after each *)
   queries : string list;   (** SELECTs for the optimizer/roundtrip oracle *)
   strategies : Flags.combine_strategy list;  (** [] = every strategy *)
@@ -30,7 +32,7 @@ let strategies c =
 let dialects c = if c.dialects = [] then all_dialects else c.dialects
 
 let empty =
-  { seed = 0; max_steps = 0; note = ""; schema = []; setup = []; view = None;
+  { seed = 0; max_steps = 0; note = ""; schema = []; setup = []; views = [];
     workload = []; queries = []; strategies = []; dialects = [] }
 
 (** The exact CLI invocation that regenerates and re-checks this case —
@@ -81,7 +83,7 @@ let to_string c =
   in
   section "schema" c.schema;
   section "setup" c.setup;
-  section "view" (Option.to_list c.view);
+  section "view" c.views;
   section "workload" c.workload;
   section "queries" c.queries;
   Buffer.contents b
@@ -140,10 +142,7 @@ let of_string text : (t, string) result =
     | No_section -> fail (Printf.sprintf "statement outside a section: %s" stmt)
     | Schema -> case := { c with schema = c.schema @ [ stmt ] }
     | Setup -> case := { c with setup = c.setup @ [ stmt ] }
-    | View ->
-      (match c.view with
-       | None -> case := { c with view = Some stmt }
-       | Some _ -> fail "more than one statement in the view section")
+    | View -> case := { c with views = c.views @ [ stmt ] }
     | Workload -> case := { c with workload = c.workload @ [ stmt ] }
     | Queries -> case := { c with queries = c.queries @ [ stmt ] }
   in
@@ -192,6 +191,6 @@ let of_string text : (t, string) result =
   let* () = match !error with Some e -> Error e | None -> Ok () in
   let c = !case in
   if c.schema = [] then Error "case has no schema section"
-  else if c.view = None && c.queries = [] then
+  else if c.views = [] && c.queries = [] then
     Error "case has neither a view nor queries — nothing to check"
   else Ok c

@@ -10,8 +10,10 @@ type t = {
   max_steps : int;     (** workload length the generator was asked for *)
   note : string;       (** free-text provenance ("" = none) *)
   schema : string list;    (** CREATE TABLE statements *)
-  setup : string list;     (** DML executed before the view is installed *)
-  view : string option;    (** CREATE MATERIALIZED VIEW statement *)
+  setup : string list;     (** DML executed before the views are installed *)
+  views : string list;     (** CREATE MATERIALIZED VIEW statements, installed
+                               in order — later views may read earlier ones
+                               (a cascade stack) *)
   workload : string list;  (** DML steps; refresh + check after each *)
   queries : string list;   (** SELECTs for the optimizer/roundtrip oracle *)
   strategies : Flags.combine_strategy list;  (** [] = every strategy *)

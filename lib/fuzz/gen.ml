@@ -194,20 +194,29 @@ let gen_step rng (s : schema_spec) : string =
 
 type view_class = Flat | Grouped | Global
 
+(** One output column of a generated view, as seen by a downstream
+    (cascaded) view: its alias plus whether it is numeric — only numeric
+    columns may feed the second level's aggregates. *)
+type out_col = { oc_name : string; oc_numeric : bool }
+
 (** Render a view definition that stays inside the classes the compiler
     accepts: inner joins over fact plus a subset of dims, projections that
     are either group keys or aggregates, optional WHERE, no
-    DISTINCT/ORDER BY/HAVING/LIMIT/CTEs. *)
-let gen_view rng (s : schema_spec) : string =
+    DISTINCT/ORDER BY/HAVING/LIMIT/CTEs. Returns the SQL together with
+    the view's output-column metadata so {!gen_view2} can stack a second
+    view on top of it. *)
+let gen_view rng (s : schema_spec) : string * out_col list =
   let dims_used = List.filter (fun _ -> chance rng 1 2) s.dims in
   let joined = dims_used <> [] in
   let fq c = if joined then "fact." ^ c else c in
+  (* (expression, is-numeric) — the flag follows the column into the
+     cascade metadata so second-level aggregates stay over numbers *)
   let key_exprs =
-    (match s.str_key with Some k -> [ fq k ] | None -> [])
-    @ List.map (fun k -> fq k.ik_name) s.int_keys
-    @ List.map (fun d -> d.dim_name ^ ".label") dims_used
+    (match s.str_key with Some k -> [ (fq k, false) ] | None -> [])
+    @ List.map (fun k -> (fq k.ik_name, true)) s.int_keys
+    @ List.map (fun d -> (d.dim_name ^ ".label", false)) dims_used
     @ (if chance rng 1 4 then
-         [ Printf.sprintf "%s %% 2" (fq (pick rng s.int_keys).ik_name) ]
+         [ (Printf.sprintf "%s %% 2" (fq (pick rng s.int_keys).ik_name), true) ]
        else [])
   in
   let vcol () = fq (pick rng s.vals) in
@@ -245,13 +254,24 @@ let gen_view rng (s : schema_spec) : string =
   in
   let flat_extra_vals =
     match klass with
-    | Flat -> List.filter (fun _ -> chance rng 1 3) (List.map fq s.vals)
+    | Flat ->
+      List.filter (fun _ -> chance rng 1 3)
+        (List.map (fun v -> (fq v, true)) s.vals)
     | Global | Grouped -> []
   in
+  let g_cols = keys @ flat_extra_vals in
   let projections =
-    List.mapi (fun i k -> Printf.sprintf "%s AS g%d" k (i + 1))
-      (keys @ flat_extra_vals)
+    List.mapi (fun i (k, _) -> Printf.sprintf "%s AS g%d" k (i + 1)) g_cols
     @ List.mapi (fun i a -> Printf.sprintf "%s AS a%d" a (i + 1)) aggs
+  in
+  let out_cols =
+    List.mapi
+      (fun i (_, numeric) ->
+         { oc_name = Printf.sprintf "g%d" (i + 1); oc_numeric = numeric })
+      g_cols
+    @ List.mapi
+      (fun i _ -> { oc_name = Printf.sprintf "a%d" (i + 1); oc_numeric = true })
+      aggs
   in
   let from =
     List.fold_left
@@ -276,11 +296,69 @@ let gen_view rng (s : schema_spec) : string =
   let group_by =
     match klass with
     | Flat | Global -> ""
-    | Grouped -> " GROUP BY " ^ String.concat ", " keys
+    | Grouped -> " GROUP BY " ^ String.concat ", " (List.map fst keys)
   in
-  Printf.sprintf "CREATE MATERIALIZED VIEW v AS SELECT %s FROM %s%s%s"
+  ( Printf.sprintf "CREATE MATERIALIZED VIEW v AS SELECT %s FROM %s%s%s"
+      (String.concat ", " projections)
+      from
+      (match where with Some w -> " WHERE " ^ w | None -> "")
+      group_by,
+    out_cols )
+
+(** A second-level view stacked over [v] — reads only the upstream view's
+    output columns, so the whole case exercises the cascade scheduler:
+    ΔV capture on v's backing table, topological refresh ordering, and
+    delta consolidation of upstream churn. *)
+let gen_view2 rng (up : out_col list) : string =
+  let numeric = List.filter (fun c -> c.oc_numeric) up in
+  let klass =
+    match R.int rng 5 with 0 -> Flat | 1 -> Global | _ -> Grouped
+  in
+  let keys =
+    match klass with
+    | Global -> []
+    | Flat | Grouped ->
+      let subset = List.filter (fun _ -> chance rng 1 2) up in
+      (match subset with [] -> [ List.hd up ] | s -> s)
+  in
+  let agg () =
+    match numeric with
+    | [] -> "COUNT(*)"
+    | _ ->
+      let c = (pick rng numeric).oc_name in
+      (match R.int rng 6 with
+       | 0 -> Printf.sprintf "SUM(%s)" c
+       | 1 -> "COUNT(*)"
+       | 2 -> Printf.sprintf "COUNT(%s)" c
+       | 3 -> Printf.sprintf "MIN(%s)" c
+       | 4 -> Printf.sprintf "MAX(%s)" c
+       | _ -> Printf.sprintf "AVG(%s)" c)
+  in
+  let aggs =
+    match klass with
+    | Flat -> []
+    | Global | Grouped -> init_ordered (1 + R.int rng 2) (fun _ -> agg ())
+  in
+  let projections =
+    List.mapi (fun i k -> Printf.sprintf "%s AS h%d" k.oc_name (i + 1)) keys
+    @ List.mapi (fun i a -> Printf.sprintf "%s AS b%d" a (i + 1)) aggs
+  in
+  let where =
+    match R.int rng 4 with
+    | 0 -> Some (Printf.sprintf "%s IS NOT NULL" (pick rng up).oc_name)
+    | 1 when numeric <> [] ->
+      Some (Printf.sprintf "%s > %d" (pick rng numeric).oc_name (R.int rng 20))
+    | _ -> None
+  in
+  let group_by =
+    match klass with
+    | Flat | Global -> ""
+    | Grouped ->
+      " GROUP BY "
+      ^ String.concat ", " (List.map (fun k -> k.oc_name) keys)
+  in
+  Printf.sprintf "CREATE MATERIALIZED VIEW v2 AS SELECT %s FROM v%s%s"
     (String.concat ", " projections)
-    from
     (match where with Some w -> " WHERE " ^ w | None -> "")
     group_by
 
@@ -376,14 +454,25 @@ let gen_query rng (s : schema_spec) : string =
 
 (* --- the case generator --- *)
 
-let case ?(max_steps = 30) ?(queries = 4) ?(with_view = true) ~seed () :
-  Case.t =
+let case ?(max_steps = 30) ?(queries = 4) ?(with_view = true) ?cascade ~seed
+    () : Case.t =
   let rng = R.make [| 0x6e67; seed |] in
   let spec = gen_schema rng in
   let schema = schema_sql spec in
   let setup = gen_setup rng spec in
-  let view = if with_view then Some (gen_view rng spec) else None in
+  (* the cascade coin is flipped unconditionally so that, under the
+     default [?cascade:None], the RNG stream — and therefore every
+     statement — stays a pure function of the seed *)
+  let coin = chance rng 1 3 in
+  let views =
+    if not with_view then []
+    else begin
+      let v1, out_cols = gen_view rng spec in
+      let cascaded = match cascade with Some b -> b | None -> coin in
+      if cascaded then [ v1; gen_view2 rng out_cols ] else [ v1 ]
+    end
+  in
   let workload = init_ordered max_steps (fun _ -> gen_step rng spec) in
   let queries = init_ordered queries (fun _ -> gen_query rng spec) in
   { Case.empty with
-    seed; max_steps; schema; setup; view; workload; queries }
+    seed; max_steps; schema; setup; views; workload; queries }

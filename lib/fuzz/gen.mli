@@ -5,8 +5,13 @@
     {!Openivm.Shape.analyze} accepts by construction. *)
 
 val case :
-  ?max_steps:int -> ?queries:int -> ?with_view:bool -> seed:int -> unit ->
-  Case.t
+  ?max_steps:int -> ?queries:int -> ?with_view:bool -> ?cascade:bool ->
+  seed:int -> unit -> Case.t
 (** [case ~seed ()] generates one case: [max_steps] workload statements
     (default 30), [queries] SELECTs for the optimizer oracle (default 4);
-    [with_view:false] yields a query-only case (default true). *)
+    [with_view:false] yields a query-only case (default true).
+
+    About a third of view-bearing cases stack a second materialized view
+    over the first ([v2] reading [v]), exercising the cascade scheduler;
+    [cascade] forces that choice either way without perturbing the rest
+    of the seeded statement stream. *)

@@ -63,9 +63,9 @@ exception Check_failed of point * string
 
 let run_view_config (case : Case.t) strategy dialect :
   (int, point * string) result =
-  match case.Case.view with
-  | None -> Ok 0
-  | Some view_sql ->
+  match case.Case.views with
+  | [] -> Ok 0
+  | view_sqls ->
     let checks = ref 0 in
     let phase = ref Install in
     (try
@@ -73,23 +73,42 @@ let run_view_config (case : Case.t) strategy dialect :
        exec_all db case.Case.schema;
        exec_all db case.Case.setup;
        let flags = { Flags.default with strategy; dialect } in
-       let v = Runner.install ~flags db view_sql in
+       (* install in order, each view registered as a potential upstream
+          of the next — this is how cascade stacks come up in the wild *)
+       let views =
+         List.rev
+           (List.fold_left
+              (fun installed sql ->
+                 Runner.install ~flags ~registry:(List.rev installed) db sql
+                 :: installed)
+              [] view_sqls)
+       in
+       (* refresh + check bottom-up: each level must equal a full
+          recompute over the (already refreshed) level below it *)
        let check point =
          phase := point;
-         incr checks;
-         let expected = Runner.recompute_rows v in
-         let got = Runner.visible_rows v in
-         if expected <> got then
-           raise
-             (Check_failed
-                (point, diff_message ~what:"view != full recompute" ~expected ~got))
+         List.iter
+           (fun v ->
+              incr checks;
+              Runner.refresh v;
+              let expected = Runner.recompute_rows v in
+              let got = Runner.visible_rows v in
+              if expected <> got then
+                raise
+                  (Check_failed
+                     ( point,
+                       diff_message
+                         ~what:
+                           (Printf.sprintf "view %s != full recompute"
+                              (Runner.view_name v))
+                         ~expected ~got )))
+           views
        in
        check Initial;
        List.iteri
          (fun i stmt ->
             phase := Step i;
             ignore (Database.exec db stmt);
-            Runner.refresh v;
             check (Step i))
          case.Case.workload;
        Ok !checks

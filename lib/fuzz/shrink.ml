@@ -4,8 +4,11 @@
 
     - workload / setup / query lists shrink by delta-debugging style
       chunk removal (halving chunk sizes down to single statements);
-    - the view definition loses its WHERE clause, surplus aggregates and
-      surplus group keys (group-key drops also leave GROUP BY);
+    - the last view of the stack is dropped outright when the failure
+      survives without it, or loses its WHERE clause, surplus aggregates
+      and surplus group keys (group-key drops also leave GROUP BY) —
+      earlier views are upstreams the later definitions reference, so
+      they only ever shrink after becoming last themselves;
     - literal values inside the surviving DML simplify toward [0] / ['a'],
       one literal at a time.
 
@@ -183,14 +186,22 @@ let minimize ?(max_passes = 6) ~(oracle : Case.t -> string option)
            ~test:(fun ys -> accept (set !current ys))
            (get !current))
     in
+    (* only the LAST view of a cascade stack may shrink: earlier views
+       are upstreams whose output columns later definitions reference, so
+       touching them would break the replay for an unrelated reason. If
+       the failure survives without the last view entirely, drop it — the
+       previous view becomes the new last and shrinks in turn. *)
     let rec view_pass () =
-      match (!current).Case.view with
-      | None -> ()
-      | Some sql ->
-        if
+      match List.rev (!current).Case.views with
+      | [] -> ()
+      | last :: prev_rev ->
+        if accept { !current with Case.views = List.rev prev_rev } then
+          view_pass ()
+        else if
           List.exists
-            (fun v -> accept { !current with Case.view = Some v })
-            (view_variants sql)
+            (fun v ->
+               accept { !current with Case.views = List.rev (v :: prev_rev) })
+            (view_variants last)
         then view_pass ()
     in
     let literal_pass get set =

@@ -346,6 +346,29 @@ let not_materialized ?span () =
 let not_a_view ?span () =
   err "IVM016" ?span "expected a CREATE MATERIALIZED VIEW statement"
 
+(* IVM2xx: cascading multi-view maintenance *)
+
+let cascade_cycle ?span ~view ~path () =
+  err "IVM201" ?span
+    ~hint:"break the cycle by defining one of the views over base tables only"
+    (Printf.sprintf
+       "materialized view %s would create a dependency cycle: %s" view
+       (String.concat " -> " path))
+
+let cascade_dependents ?span ~view ~dependents () =
+  err "IVM202" ?span
+    ~hint:(Printf.sprintf "drop %s first" (String.concat ", " dependents))
+    (Printf.sprintf
+       "cannot drop materialized view %s: %d dependent view(s) read it (%s)"
+       view (List.length dependents) (String.concat ", " dependents))
+
+let cascade_dml_on_view ?span ~view () =
+  err "IVM203" ?span
+    ~hint:"modify the base tables instead; the view is maintained automatically"
+    (Printf.sprintf
+       "direct DML on materialized view %s would desynchronize it from its \
+        definition" view)
+
 (* IVM1xx: warnings and hints on supported views *)
 
 let min_max_recompute ?span agg =
@@ -403,4 +426,7 @@ let registry : (string * severity * string) list =
     ("IVM016", Error, "statement is not CREATE MATERIALIZED VIEW");
     ("IVM101", Warning, "MIN/MAX forces recompute on delete");
     ("IVM102", Hint, "AVG decomposed into SUM/COUNT state");
-    ("IVM103", Warning, "unindexed group/join key") ]
+    ("IVM103", Warning, "unindexed group/join key");
+    ("IVM201", Error, "materialized-view dependency cycle");
+    ("IVM202", Error, "drop of a view with dependent views");
+    ("IVM203", Error, "direct DML on a maintained view") ]

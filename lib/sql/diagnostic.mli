@@ -84,6 +84,11 @@ val group_not_projected : ?span:span -> unit -> t
 val not_materialized : ?span:span -> unit -> t
 val not_a_view : ?span:span -> unit -> t
 
+val cascade_cycle : ?span:span -> view:string -> path:string list -> unit -> t
+val cascade_dependents :
+  ?span:span -> view:string -> dependents:string list -> unit -> t
+val cascade_dml_on_view : ?span:span -> view:string -> unit -> t
+
 val min_max_recompute : ?span:span -> string -> t
 val avg_decomposition : ?span:span -> unit -> t
 val unindexed_key : ?span:span -> table:string -> column:string -> unit -> t

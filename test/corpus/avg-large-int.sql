@@ -1,0 +1,20 @@
+-- openivm-fuzz reproducer v1
+-- seed: 0
+-- max-steps: 8
+-- strategies: all
+-- dialects: all
+-- note: AVG over large ints near 2^53 diverged between the executor (float accumulator rounding on every addition) and the IVM path (exact integer SUM state divided once); the executor now accumulates integers exactly like SUM and rounds once at the division, matching DuckDB's exact large-int AVG
+-- schema:
+CREATE TABLE fact(k2 INTEGER, v1 INTEGER)
+-- setup:
+INSERT INTO fact VALUES (0, 9007199254740992)
+INSERT INTO fact VALUES (0, 1)
+INSERT INTO fact VALUES (0, 1)
+INSERT INTO fact VALUES (1, 4503599627370496)
+-- view:
+CREATE MATERIALIZED VIEW v AS SELECT k2 AS g1, AVG(v1) AS a1, SUM(v1) AS a2, COUNT(v1) AS a3 FROM fact GROUP BY k2
+-- workload:
+INSERT INTO fact VALUES (1, 4503599627370497)
+INSERT INTO fact VALUES (0, 9007199254740993)
+DELETE FROM fact WHERE v1 = 1
+UPDATE fact SET v1 = v1 + 1 WHERE k2 = 1

@@ -1,0 +1,22 @@
+-- openivm-fuzz reproducer v1
+-- seed: 209460
+-- max-steps: 20
+-- strategies: all
+-- dialects: all
+-- note: float-state drift under cascades — downstream AVG over an upstream AVG column accumulated a float sum incrementally; retracting a previously added float (93.666... - 43.666...) left last-bit residue (50.000000000000007 vs the recompute's exact 50.0). Fixed by routing SUM/AVG over non-integer arguments to rederive/full, like MIN/MAX: float addition is not exactly invertible.
+-- schema:
+CREATE TABLE fact(k1 VARCHAR, k2 INTEGER, k3 INTEGER, v1 INTEGER, v2 INTEGER)
+CREATE TABLE dim_k2(k2 INTEGER, label VARCHAR)
+CREATE TABLE dim_k3(k3 INTEGER, label VARCHAR)
+-- setup:
+INSERT INTO dim_k3 VALUES (1, 'a')
+INSERT INTO dim_k3 VALUES (2, 'a')
+INSERT INTO fact VALUES ('a', 2, 2, 21, 64)
+INSERT INTO fact VALUES ('a', 2, 2, 61, 0)
+-- view:
+CREATE MATERIALIZED VIEW v AS SELECT fact.k2 AS g1, fact.k3 AS g2, fact.k2 % 2 AS g3, MIN(fact.v2) AS a1, COUNT(*) AS a2, AVG(fact.v2) AS a3 FROM fact JOIN dim_k3 ON fact.k3 = dim_k3.k3 WHERE fact.v1 > 2 GROUP BY fact.k2, fact.k3, fact.k2 % 2
+CREATE MATERIALIZED VIEW v2 AS SELECT AVG(a3) AS b1 FROM v
+-- workload:
+INSERT INTO fact VALUES ('a', NULL, 0, 0, 0), ('a', NULL, 1, 33, 50)
+INSERT INTO fact VALUES ('a', 2, 2, 10, 67)
+DELETE FROM fact WHERE k3 = 2

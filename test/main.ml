@@ -23,6 +23,7 @@ let () =
       ("advisor", Test_advisor.suite);
       ("golden-sql", Test_golden_sql.suite);
       ("runner", Test_runner.suite);
+      ("cascade", Test_cascade.suite);
       ("random-views", Test_random_views.suite);
       ("fuzz", Test_fuzz.suite);
       ("htap", Test_htap.suite);

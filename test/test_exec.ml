@@ -222,4 +222,158 @@ let suite =
         match Database.query db "SELECT 1 FROM missing" with
         | exception Error.Sql_error _ -> ()
         | _ -> Alcotest.fail "expected error");
+    (* --- join row multiplicity and build/probe swap bookkeeping ---
+       The hash join builds on the smaller input, so the same query text
+       exercises both (build=left, build=right) layouts depending on row
+       counts; duplicate keys and duplicate whole rows must multiply out
+       identically either way, and LEFT/FULL unmatched tracking must
+       survive the swap. No table here has an index, which pins the plan
+       to the hash path. *)
+    Util.tc "hash join: duplicate build keys multiply matches" (fun () ->
+        let db =
+          Util.db_with
+            [ "CREATE TABLE lt(k VARCHAR, x INTEGER)";
+              "INSERT INTO lt VALUES ('a', 1), ('a', 1), ('z', 9)";
+              "CREATE TABLE rt(k VARCHAR, y INTEGER)";
+              "INSERT INTO rt VALUES ('a', 10), ('a', 11), ('b', 20), \
+               ('b', 21), ('c', 30)" ]
+        in
+        (* lt (3 rows) < rt (5 rows): build side = lt, with the duplicate
+           whole row ('a', 1) twice — every copy must pair with every
+           matching probe row *)
+        Util.check_rows db
+          "SELECT lt.x AS x, rt.y AS y FROM lt JOIN rt ON lt.k = rt.k"
+          [ "(1, 10)"; "(1, 10)"; "(1, 11)"; "(1, 11)" ]);
+    Util.tc "hash join: left outer with build on the left side" (fun () ->
+        let db =
+          Util.db_with
+            [ "CREATE TABLE lt(k VARCHAR, x INTEGER)";
+              "INSERT INTO lt VALUES ('a', 1), ('a', 1), ('z', 9)";
+              "CREATE TABLE rt(k VARCHAR, y INTEGER)";
+              "INSERT INTO rt VALUES ('a', 10), ('a', 11), ('b', 20), \
+               ('b', 21), ('c', 30)" ]
+        in
+        (* the LEFT side is the build side here; its unmatched rows come
+           out of the matched_build bookkeeping *)
+        Util.check_rows db
+          "SELECT lt.x AS x, rt.y AS y FROM lt LEFT JOIN rt ON lt.k = rt.k"
+          [ "(1, 10)"; "(1, 10)"; "(1, 11)"; "(1, 11)"; "(9, NULL)" ]);
+    Util.tc "hash join: left outer with build on the right side" (fun () ->
+        let db =
+          Util.db_with
+            [ "CREATE TABLE lt(k VARCHAR, x INTEGER)";
+              "INSERT INTO lt VALUES ('a', 1), ('a', 1), ('z', 9)";
+              "CREATE TABLE rt(k VARCHAR, y INTEGER)";
+              "INSERT INTO rt VALUES ('a', 10), ('a', 11), ('b', 20), \
+               ('b', 21), ('c', 30)" ]
+        in
+        (* same data, mirrored: now the LEFT side (rt, 5 rows) is the
+           probe side and its unmatched rows come from matched_probe *)
+        Util.check_rows db
+          "SELECT rt.y AS y, lt.x AS x FROM rt LEFT JOIN lt ON rt.k = lt.k"
+          [ "(10, 1)"; "(10, 1)"; "(11, 1)"; "(11, 1)"; "(20, NULL)";
+            "(21, NULL)"; "(30, NULL)" ]);
+    Util.tc "hash join: full outer with null keys and duplicates" (fun () ->
+        let db =
+          Util.db_with
+            [ "CREATE TABLE lt(k VARCHAR, x INTEGER)";
+              "INSERT INTO lt VALUES ('a', 1), ('a', 1), ('z', 9), (NULL, 7)";
+              "CREATE TABLE rt(k VARCHAR, y INTEGER)";
+              "INSERT INTO rt VALUES ('a', 10), ('a', 11), ('b', 20), \
+               ('b', 21), ('c', 30)" ]
+        in
+        (* NULL join keys match nothing but must still surface padded on
+           their own side; both duplicate pairs and all unmatched rows of
+           both sides survive *)
+        Util.check_rows db
+          "SELECT lt.x AS x, rt.y AS y FROM lt FULL JOIN rt ON lt.k = rt.k"
+          [ "(1, 10)"; "(1, 10)"; "(1, 11)"; "(1, 11)"; "(9, NULL)";
+            "(7, NULL)"; "(NULL, 20)"; "(NULL, 21)"; "(NULL, 30)" ]);
+    (* --- index nested loop fast path ---
+       A bare scan of an indexed table on the non-probe side, with few
+       enough probe rows (probe*2 < indexed rows), takes the INLJ path
+       instead of hashing — results must be indistinguishable from it. *)
+    Util.tc "inlj: primary-key probe with duplicate probe rows" (fun () ->
+        let db =
+          Util.db_with
+            [ "CREATE TABLE big(k VARCHAR PRIMARY KEY, y INTEGER)";
+              "CREATE TABLE probe(k VARCHAR, x INTEGER)";
+              "INSERT INTO probe VALUES ('k1', 1), ('k1', 1), ('k3', 2), \
+               ('zz', 3)" ]
+        in
+        for i = 0 to 9 do
+          Util.exec db
+            (Printf.sprintf "INSERT INTO big VALUES ('k%d', %d)" i (100 + i))
+        done;
+        (* 4 probe rows * 2 < 10 indexed rows: the PK lookup path runs;
+           the duplicate probe row must keep its multiplicity *)
+        Util.check_rows db
+          "SELECT probe.x AS x, big.y AS y FROM probe JOIN big ON probe.k = big.k"
+          [ "(1, 101)"; "(1, 101)"; "(2, 103)" ];
+        Util.check_rows db ~msg:"left outer over the pk probe"
+          "SELECT probe.x AS x, big.y AS y FROM probe LEFT JOIN big ON \
+           probe.k = big.k"
+          [ "(1, 101)"; "(1, 101)"; "(2, 103)"; "(3, NULL)" ]);
+    Util.tc "inlj: residual predicate demotes matches to unmatched" (fun () ->
+        let db =
+          Util.db_with
+            [ "CREATE TABLE big(k VARCHAR PRIMARY KEY, y INTEGER)";
+              "CREATE TABLE probe(k VARCHAR, x INTEGER)";
+              "INSERT INTO probe VALUES ('k1', 1), ('k8', 2)" ]
+        in
+        for i = 0 to 9 do
+          Util.exec db
+            (Printf.sprintf "INSERT INTO big VALUES ('k%d', %d)" i (100 + i))
+        done;
+        (* k1 finds its PK row but fails the residual y > 105, so under
+           LEFT JOIN it must fall back to the NULL-padded form *)
+        Util.check_rows db
+          "SELECT probe.x AS x, big.y AS y FROM probe LEFT JOIN big ON \
+           probe.k = big.k AND big.y > 105"
+          [ "(1, NULL)"; "(2, 108)" ]);
+    Util.tc "inlj: secondary index with duplicate indexed keys" (fun () ->
+        let db =
+          Util.db_with
+            [ "CREATE TABLE ev(g VARCHAR, y INTEGER)";
+              "CREATE TABLE probe(g VARCHAR, x INTEGER)";
+              "INSERT INTO probe VALUES ('g1', 1), ('g9', 2)" ]
+        in
+        for i = 0 to 7 do
+          Util.exec db
+            (Printf.sprintf "INSERT INTO ev VALUES ('g%d', %d)" (i mod 4)
+               (100 + i))
+        done;
+        Util.exec db "CREATE INDEX idx_ev_g ON ev(g)";
+        (* g1 appears twice in ev: a non-unique index lookup must return
+           every copy, and the unmatched probe row must pad under LEFT *)
+        Util.check_rows db
+          "SELECT probe.x AS x, ev.y AS y FROM probe JOIN ev ON probe.g = ev.g"
+          [ "(1, 101)"; "(1, 105)" ];
+        Util.check_rows db ~msg:"left outer over the secondary probe"
+          "SELECT probe.x AS x, ev.y AS y FROM probe LEFT JOIN ev ON \
+           probe.g = ev.g"
+          [ "(1, 101)"; "(1, 105)"; "(2, NULL)" ]);
+    Util.tc "inlj agrees with the hash join on the same query" (fun () ->
+        (* same query text, same data — only the presence of the index
+           differs; the two join paths must agree row for row *)
+        let mk ~indexed =
+          let db =
+            Util.db_with
+              [ (if indexed then
+                   "CREATE TABLE big(k VARCHAR PRIMARY KEY, y INTEGER)"
+                 else "CREATE TABLE big(k VARCHAR, y INTEGER)");
+                "CREATE TABLE probe(k VARCHAR, x INTEGER)";
+                "INSERT INTO probe VALUES ('k2', 1), ('k2', 1), ('k5', 2), \
+                 ('nope', 3)" ]
+          in
+          for i = 0 to 11 do
+            Util.exec db
+              (Printf.sprintf "INSERT INTO big VALUES ('k%d', %d)" i (200 + i))
+          done;
+          Util.sorted_rows db
+            "SELECT probe.x AS x, big.y AS y FROM probe LEFT JOIN big ON \
+             probe.k = big.k"
+        in
+        Alcotest.(check (list string)) "inlj = hash join" (mk ~indexed:false)
+          (mk ~indexed:true));
   ]

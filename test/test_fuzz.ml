@@ -48,9 +48,16 @@ let test_of_string_rejects () =
   in
   bad "-- openivm-fuzz reproducer v1\n-- schema:\n";
   bad "SELECT 1\n";
-  bad
-    "-- schema:\nCREATE TABLE t(a INTEGER)\n-- view:\nCREATE MATERIALIZED \
-     VIEW v AS SELECT a FROM t\nCREATE MATERIALIZED VIEW w AS SELECT a FROM t\n"
+  bad "-- schema:\nCREATE TABLE t(a INTEGER)\n-- seed: x\n-- queries:\nSELECT a FROM t\n";
+  (* a multi-statement view section is a cascade stack, not an error *)
+  match
+    F.Case.of_string
+      "-- schema:\nCREATE TABLE t(a INTEGER)\n-- view:\nCREATE MATERIALIZED \
+       VIEW v AS SELECT a FROM t\nCREATE MATERIALIZED VIEW w AS SELECT a FROM v\n"
+  with
+  | Error e -> Alcotest.failf "cascade view section rejected: %s" e
+  | Ok c ->
+    Alcotest.(check int) "two views parsed" 2 (List.length c.F.Case.views)
 
 (* --- the reproducer command --- *)
 
@@ -69,9 +76,9 @@ let test_failure_embeds_command () =
      oracle failure message must carry the exact reproducer invocation *)
   let case =
     { (F.Gen.case ~seed:5 ~max_steps:3 ~queries:0 ()) with
-      F.Case.view =
-        Some "CREATE MATERIALIZED VIEW v AS SELECT missing_col AS a FROM \
-              no_such_table" }
+      F.Case.views =
+        [ "CREATE MATERIALIZED VIEW v AS SELECT missing_col AS a FROM \
+           no_such_table" ] }
   in
   match F.Oracle.first_failure case with
   | None -> Alcotest.fail "expected the broken case to fail"
@@ -123,20 +130,57 @@ let test_shrink_view () =
   let case =
     { F.Case.empty with
       F.Case.schema = [ "CREATE TABLE t(a INTEGER, b INTEGER)" ];
-      view =
-        Some "CREATE MATERIALIZED VIEW v AS SELECT a AS g1, SUM(b) AS s, \
-              COUNT(*) AS n FROM t WHERE a > 3 GROUP BY a" }
+      views =
+        [ "CREATE MATERIALIZED VIEW v AS SELECT a AS g1, SUM(b) AS s, \
+           COUNT(*) AS n FROM t WHERE a > 3 GROUP BY a" ] }
   in
   let oracle c =
-    match c.F.Case.view with
-    | Some v when contains ~sub:"SUM" v -> Some "injected"
+    match c.F.Case.views with
+    | [ v ] when contains ~sub:"SUM" v -> Some "injected"
     | _ -> None
   in
   let minimized, _ = F.Shrink.minimize ~oracle case in
-  let v = Option.get minimized.F.Case.view in
+  let v = List.hd minimized.F.Case.views in
   Alcotest.(check bool) "WHERE dropped" false (contains ~sub:"WHERE" v);
   Alcotest.(check bool) "COUNT dropped" false (contains ~sub:"COUNT" v);
   Alcotest.(check bool) "SUM kept" true (contains ~sub:"SUM" v)
+
+let test_shrink_cascade_drops_last_view () =
+  (* a failure that only needs the first view: the shrinker must discard
+     the downstream view whole while leaving the upstream untouched *)
+  let case =
+    { F.Case.empty with
+      F.Case.schema = [ "CREATE TABLE t(a INTEGER, b INTEGER)" ];
+      views =
+        [ "CREATE MATERIALIZED VIEW v AS SELECT a AS g1, SUM(b) AS a1 \
+           FROM t GROUP BY a";
+          "CREATE MATERIALIZED VIEW v2 AS SELECT g1 AS h1, MAX(a1) AS b1 \
+           FROM v GROUP BY g1" ] }
+  in
+  let oracle c =
+    match c.F.Case.views with
+    | v :: _ when contains ~sub:"SUM" v -> Some "injected"
+    | _ -> None
+  in
+  let minimized, _ = F.Shrink.minimize ~oracle case in
+  Alcotest.(check int) "downstream view dropped" 1
+    (List.length minimized.F.Case.views);
+  Alcotest.(check bool) "upstream survives" true
+    (contains ~sub:"SUM" (List.hd minimized.F.Case.views))
+
+let test_generated_cascades_pass () =
+  (* forced 2-level stacks across a seed range: every level must match a
+     full recompute under the whole strategy/dialect matrix *)
+  for seed = 400 to 405 do
+    let case = F.Gen.case ~seed ~max_steps:6 ~queries:0 ~cascade:true () in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d generates a stack" seed)
+      2
+      (List.length case.F.Case.views);
+    match (F.Oracle.run case).F.Oracle.failure with
+    | Some f -> Alcotest.fail f.F.Oracle.message
+    | None -> ()
+  done
 
 (* --- regression: the bug the first 2000-case campaign caught --- *)
 
@@ -172,5 +216,9 @@ let suite =
     Util.tc "shrinker: 50 steps -> <= 5, deterministic" test_shrink_50_steps;
     Util.tc "shrinker leaves passing cases alone" test_shrink_keeps_passing_case;
     Util.tc "shrinker simplifies the view" test_shrink_view;
+    Util.tc "shrinker drops a redundant downstream view"
+      test_shrink_cascade_drops_last_view;
+    Util.tc "generated cascade stacks pass the oracle"
+      test_generated_cascades_pass;
     Util.tc "regression: group keys sharing a bare name"
       test_shared_bare_name_group_keys ]

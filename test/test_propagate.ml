@@ -10,7 +10,8 @@ let catalog () =
     (Util.db_with
        [ "CREATE TABLE a(k INTEGER, v INTEGER)";
          "CREATE TABLE b(k INTEGER, w INTEGER)";
-         "CREATE TABLE c(k INTEGER, x INTEGER)" ])
+         "CREATE TABLE c(k INTEGER, x INTEGER)";
+         "CREATE TABLE d(k INTEGER, f DOUBLE)" ])
 
 let compile ?flags sql = Openivm.Compiler.compile ?flags (catalog ()) sql
 
@@ -118,6 +119,39 @@ let suite =
         in
         let all = String.concat "\n" (sqls c) in
         Alcotest.(check bool) "concatenated key" true (contains all "||"));
+    Util.tc "regression: float-argument SUM/AVG routes to rederive" (fun () ->
+        (* fuzz seed 209460: a linear float sum drifts from the recompute
+           once deletes retract previously added values (x + d - d loses
+           last bits), so SUM/AVG over non-integer arguments must rederive
+           like MIN/MAX — under every linear strategy *)
+        List.iter
+          (fun strategy ->
+             let flags = { Openivm.Flags.default with strategy } in
+             let grouped =
+               compile ~flags
+                 "CREATE MATERIALIZED VIEW v AS SELECT k, SUM(f) AS s FROM d \
+                  GROUP BY k"
+             in
+             Alcotest.(check string) "grouped float sum rederives" "rederive"
+               (Openivm.Propagate.kind_to_string
+                  (script grouped).Openivm.Propagate.kind);
+             let global =
+               compile ~flags
+                 "CREATE MATERIALIZED VIEW v AS SELECT AVG(f) AS a FROM d"
+             in
+             Alcotest.(check string) "global float avg recomputes" "full"
+               (Openivm.Propagate.kind_to_string
+                  (script global).Openivm.Propagate.kind))
+          [ Openivm.Flags.Upsert_linear; Openivm.Flags.Union_regroup;
+            Openivm.Flags.Outer_join_merge ];
+        (* integer arguments keep their linear running state *)
+        let int_sum =
+          compile "CREATE MATERIALIZED VIEW v AS SELECT k, SUM(v) AS s FROM a \
+                   GROUP BY k"
+        in
+        Alcotest.(check string) "integer sum stays linear" "linear"
+          (Openivm.Propagate.kind_to_string
+             (script int_sum).Openivm.Propagate.kind));
     Util.tc "global linear uses the stage in four statements" (fun () ->
         let c = compile "CREATE MATERIALIZED VIEW v AS SELECT COUNT(*) AS n FROM a" in
         let s = script c in
