@@ -734,6 +734,105 @@ let refresh_json results =
   Buffer.add_string b "  ]\n}\n";
   Buffer.contents b
 
+(* --- the recovery benchmark: cold start vs durable-store recovery ---
+
+   How much does durability buy at restart? Seed a data directory with
+   the base rows folded into a checkpoint and a tail of delta batches
+   still in the WAL, then time three ways of getting a queryable view:
+   [cold_start] rebuilds everything from raw rows (full initial load, no
+   durability), [wal_replay] recovers checkpoint + tail, and
+   [checkpoint_load] recovers after the tail has been folded away. Each
+   path is divergence-gated like every other benchmark row. *)
+
+let recovery_results () : refresh_result list =
+  let module Store = Openivm_store.Store in
+  let base, delta = refresh_sizes () in
+  let reps = max 1 !refresh_reps in
+  let domain = max 100 (base / 20) in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let with_temp_dir f =
+    let dir = Filename.temp_file "openivm_bench_rec" "" in
+    Sys.remove dir;
+    Sys.mkdir dir 0o755;
+    Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+  in
+  let view_sql =
+    "CREATE MATERIALIZED VIEW bench_v AS SELECT group_index, \
+     SUM(group_value) AS total_value, COUNT(*) AS n FROM groups GROUP BY \
+     group_index"
+  in
+  let row i =
+    Printf.sprintf "('%s', %d)" (Datagen.group_key (i mod domain))
+      ((i * 37) mod 1_000)
+  in
+  let values lo n =
+    "INSERT INTO groups VALUES "
+    ^ String.concat ", " (List.init n (fun i -> row (lo + i)))
+  in
+  let tail_batches = 5 in
+  with_temp_dir (fun dir ->
+      (* seed: base rows + installed view in a checkpoint, deltas in the tail *)
+      let store = Store.open_ ~dir () in
+      ignore (Store.exec store Datagen.groups_ddl);
+      ignore (Store.exec store (values 0 base));
+      ignore (Store.exec store view_sql);
+      ignore (Store.checkpoint store);
+      for b = 0 to tail_batches - 1 do
+        ignore (Store.exec store (values (base + (b * delta)) delta))
+      done;
+      Store.close store;
+      let time_open () =
+        Timer.time_unit (fun () ->
+            let s = Store.open_ ~dir () in
+            List.iter Openivm.Runner.refresh (Store.views s);
+            Store.close s)
+      in
+      let replay_times = List.init reps (fun _ -> time_open ()) in
+      let s = Store.open_ ~dir () in
+      let replay_converged = Store.verify s in
+      (* fold the tail away so the next measurements load checkpoint only *)
+      ignore (Store.checkpoint s);
+      Store.close s;
+      let checkpoint_times = List.init reps (fun _ -> time_open ()) in
+      let s = Store.open_ ~dir () in
+      let checkpoint_converged =
+        Store.verify s && (Store.last_recovery s).Store.replayed = 0
+      in
+      Store.close s;
+      (* the non-durable baseline: rebuild the same final state from raw
+         rows and pay the full initial load *)
+      let total = base + (tail_batches * delta) in
+      let cold_converged = ref true in
+      let cold_times =
+        List.init reps (fun _ ->
+            Timer.time_unit (fun () ->
+                let db = Database.create () in
+                ignore (Database.exec db Datagen.groups_ddl);
+                ignore (Database.exec db (values 0 total));
+                let v = Openivm.Runner.install db view_sql in
+                cold_converged :=
+                  !cold_converged
+                  && Openivm.Runner.visible_rows v
+                     = Openivm.Runner.recompute_rows v))
+      in
+      let mk strategy times converged =
+        { r_shape = "recovery"; r_strategy = strategy;
+          r_median = median times;
+          r_min = List.fold_left min infinity times;
+          r_max = List.fold_left max neg_infinity times;
+          r_converged = converged }
+      in
+      [ mk "cold_start" cold_times !cold_converged;
+        mk "wal_replay" replay_times replay_converged;
+        mk "checkpoint_load" checkpoint_times checkpoint_converged ])
+
 let refresh_bench () =
   let base, delta = refresh_sizes () in
   let reps = max 1 !refresh_reps in
@@ -808,7 +907,17 @@ let refresh_bench () =
        Report.add_row table (sh.shape_name :: cells))
     (refresh_shapes ());
   Report.print table;
-  let results = List.rev !results in
+  (* the recovery rows ride along in the same JSON: shape "recovery",
+     one strategy slot per restart path *)
+  let recovery = recovery_results () in
+  List.iter
+    (fun r ->
+       Printf.printf "recovery/%-16s %s\n" r.r_strategy
+         (Timer.pp_duration r.r_median);
+       if not r.r_converged then
+         diverged := (r.r_shape, r.r_strategy) :: !diverged)
+    recovery;
+  let results = List.rev !results @ recovery in
   let oc = open_out !refresh_out in
   output_string oc (refresh_json results);
   close_out oc;

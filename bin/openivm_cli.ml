@@ -270,7 +270,8 @@ let htap_action transactions seed chaos drop dup reorder corrupt crash
   try
     let base = Fault.chaos () in
     let spec =
-      { Fault.drop = knob drop base.Fault.drop;
+      { Fault.none with
+        Fault.drop = knob drop base.Fault.drop;
         duplicate = knob dup base.Fault.duplicate;
         reorder = knob reorder base.Fault.reorder;
         corrupt = knob corrupt base.Fault.corrupt;
@@ -408,7 +409,8 @@ let htap_cmd =
 
 (* --- the fuzz subcommand: differential fuzzing of the whole pipeline --- *)
 
-let fuzz_action seed cases max_steps strategy dialect corpus replay no_shrink =
+let fuzz_action seed cases max_steps strategy dialect corpus replay no_shrink
+    crash_seed =
   let ( let* ) = Result.bind in
   let module F = Openivm_fuzz in
   let* strategies =
@@ -443,9 +445,20 @@ let fuzz_action seed cases max_steps strategy dialect corpus replay no_shrink =
         dialects = (if dialects = [] then case.F.Case.dialects else dialects) }
     in
     (match F.Oracle.first_failure case with
-     | None ->
-       Printf.printf "fuzz: %s replayed clean\n" path;
-       Ok ()
+     | None -> (
+         match crash_seed with
+         | None ->
+           Printf.printf "fuzz: %s replayed clean\n" path;
+           Ok ()
+         | Some cs -> (
+             match F.Durable.check ~crash_seed:cs case with
+             | _, None ->
+               Printf.printf "fuzz: %s replayed clean (incl. crash axis)\n"
+                 path;
+               Ok ()
+             | _, Some f ->
+               Printf.printf "FAIL %s\n%s\n" path f.F.Oracle.message;
+               Error "replay failed"))
      | Some msg ->
        Printf.printf "FAIL %s\n%s\n" path msg;
        Error "replay failed")
@@ -453,7 +466,8 @@ let fuzz_action seed cases max_steps strategy dialect corpus replay no_shrink =
     let config =
       { F.Campaign.default with
         base_seed = seed; cases; max_steps; strategies; dialects;
-        corpus_dir = corpus; shrink = not no_shrink; log = print_endline }
+        corpus_dir = corpus; shrink = not no_shrink; crash_seed;
+        log = print_endline }
     in
     let report = F.Campaign.run config in
     print_endline (F.Campaign.summary report);
@@ -497,6 +511,14 @@ let fuzz_no_shrink_arg =
   Arg.(value & flag & info [ "no-shrink" ]
          ~doc:"Report the original failing case without minimizing it.")
 
+let fuzz_crash_seed_arg =
+  Arg.(value & opt (some int) None & info [ "crash-seed" ] ~docv:"N"
+         ~doc:"Arm the crash-replay axis: cases that pass the differential \
+               oracle are re-run through the durable store with storage \
+               faults seeded from N + the case seed, killed and reopened \
+               at every injected crash, and must converge to the no-crash \
+               run.")
+
 let fuzz_cmd =
   let doc = "differentially fuzz the compiler against full recomputation" in
   let man =
@@ -515,11 +537,12 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc ~man)
     Term.(
-      const (fun a b c d e f g h tr ->
-          to_exit (with_trace tr (fun () -> fuzz_action a b c d e f g h)))
+      const (fun a b c d e f g h cs tr ->
+          to_exit (with_trace tr (fun () -> fuzz_action a b c d e f g h cs)))
       $ fuzz_seed_arg $ fuzz_cases_arg $ fuzz_max_steps_arg
       $ fuzz_strategy_arg $ fuzz_dialect_arg $ fuzz_corpus_arg
-      $ fuzz_replay_arg $ fuzz_no_shrink_arg $ trace_arg)
+      $ fuzz_replay_arg $ fuzz_no_shrink_arg $ fuzz_crash_seed_arg
+      $ trace_arg)
 
 (* --- the stats subcommand: profiled refresh, "EXPLAIN ANALYZE for IVM" --- *)
 
@@ -645,9 +668,86 @@ let compile_cmd =
       $ strategy_arg $ paper_arg $ eager_arg $ no_indexes_arg $ advise_arg
       $ expected_delta_arg $ trace_arg)
 
+(* --- the recover subcommand: open a durable data directory --- *)
+
+let recover_action data_dir verify checkpoint =
+  let module Store = Openivm_store.Store in
+  match Store.open_ ~dir:data_dir () with
+  | exception Error.Sql_error msg -> Error ("recover: " ^ msg)
+  | store ->
+    Fun.protect ~finally:(fun () -> Store.close store)
+      (fun () ->
+         let r = Store.last_recovery store in
+         Printf.printf "recovered %s\n" data_dir;
+         Printf.printf "  checkpoint seq    %d%s\n" r.Store.checkpoint_seq
+           (if r.Store.checkpoint_seq = 0 then " (fresh database)" else "");
+         Printf.printf "  wal tail replayed %d record(s)%s\n" r.Store.replayed
+           (if r.Store.torn_tail then ", torn tail discarded" else "");
+         Printf.printf "  views reattached  %d\n" r.Store.views_reattached;
+         List.iter
+           (fun (view, chunk) ->
+              Printf.printf "  backfill resumed  %s at chunk %d\n" view chunk)
+           r.Store.backfills_resumed;
+         Printf.printf "  committed seq     %d\n" (Store.committed_seq store);
+         List.iter
+           (fun v ->
+              Printf.printf "  view %-18s %d row(s)\n"
+                (Openivm.Runner.view_name v)
+                (List.length (Openivm.Runner.visible_rows v)))
+           (Store.views store);
+         let verified =
+           if not verify then Ok ()
+           else if Store.verify store then begin
+             print_endline "verify: every view matches a full recompute";
+             Ok ()
+           end
+           else Error "verify: a view diverges from its defining query"
+         in
+         match verified with
+         | Error _ as e -> e
+         | Ok () ->
+           if checkpoint then
+             Printf.printf "checkpoint written to %s\n" (Store.checkpoint store);
+           Ok ())
+
+let data_dir_arg =
+  Arg.(required & opt (some string) None & info [ "data-dir" ] ~docv:"DIR"
+         ~doc:"The durable data directory (WAL + checkpoints). Created \
+               empty if missing.")
+
+let recover_verify_arg =
+  Arg.(value & flag & info [ "verify" ]
+         ~doc:"After recovery, check every maintained view against a full \
+               recompute of its defining query; exit non-zero on \
+               divergence.")
+
+let recover_checkpoint_arg =
+  Arg.(value & flag & info [ "checkpoint" ]
+         ~doc:"After recovery (and --verify, if given), fold the WAL into \
+               a fresh checkpoint and truncate it.")
+
+let recover_cmd =
+  let doc = "recover a durable data directory and report what it took" in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Opens $(b,--data-dir) and runs the recovery ladder: load the \
+          newest valid checkpoint, reattach its materialized views, replay \
+          the WAL tail (discarding a torn tail), fast-forward the HTAP \
+          bridge watermarks, and resume any backfill that was killed \
+          mid-install from its last completed chunk. Prints one line per \
+          recovery step, then the recovered views and their row counts." ]
+  in
+  Cmd.v
+    (Cmd.info "recover" ~doc ~man)
+    Term.(
+      const (fun a b c tr ->
+          to_exit (with_trace tr (fun () -> recover_action a b c)))
+      $ data_dir_arg $ recover_verify_arg $ recover_checkpoint_arg
+      $ trace_arg)
+
 let main_cmd =
   let doc = "OpenIVM: a SQL-to-SQL compiler for incremental computations" in
   Cmd.group (Cmd.info "openivm" ~version:"1.0.0" ~doc)
-    [ compile_cmd; check_cmd; stats_cmd; fuzz_cmd; htap_cmd ]
+    [ compile_cmd; check_cmd; stats_cmd; fuzz_cmd; htap_cmd; recover_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

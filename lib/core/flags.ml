@@ -48,6 +48,13 @@ type refresh_mode =
   | Eager  (** propagate on every base-table change *)
   | Lazy   (** propagate when the view is queried (the demo's choice) *)
 
+let refresh_to_string = function Eager -> "eager" | Lazy -> "lazy"
+
+let refresh_of_string = function
+  | "eager" -> Some Eager
+  | "lazy" -> Some Lazy
+  | _ -> None
+
 type t = {
   dialect : Openivm_sql.Dialect.t;
   multiplicity_column : string;

@@ -26,6 +26,65 @@ let watermark_query ~(source : string) : string =
   Printf.sprintf "SELECT last_seq FROM %s WHERE source = '%s'"
     watermarks_table source
 
+(* --- resumable backfill progress (the durable store's install ledger) ---
+
+   One row per staged install, updated after every completed chunk and
+   kept (state = 'done') once finished — so it doubles as the registry of
+   store-installed views for recovery reattachment, in install order.
+   Deliberately NOT part of {!ddl}: compiled metadata DDL is golden-tested
+   output, and only durable stores need this table. *)
+
+let backfill_table = "_openivm_backfill_progress"
+
+let backfill_ddl : Ast.stmt list =
+  [ create_table ~if_not_exists:true backfill_table
+      ~primary_key:[ "view_name" ]
+      [ coldef "view_name" Ast.T_text;
+        coldef "view_sql" Ast.T_text;
+        coldef "strategy" Ast.T_text;
+        coldef "dialect" Ast.T_text;
+        coldef "refresh" Ast.T_text;
+        coldef "chunk_rows" Ast.T_int;
+        coldef "total_chunks" Ast.T_int;
+        coldef "chunks_done" Ast.T_int;
+        coldef "state" Ast.T_text;        (* running | done *)
+        coldef "install_seq" Ast.T_int ] ]
+
+type backfill_row = {
+  bf_view : string;
+  bf_sql : string;
+  bf_strategy : string;
+  bf_dialect : string;
+  bf_refresh : string;
+  bf_chunk_rows : int;
+  bf_total_chunks : int;
+  bf_chunks_done : int;
+  bf_state : string;
+  bf_install_seq : int;
+}
+
+(** Rewrite the whole progress row (delete + insert, idempotent — the same
+    statement shape replay-safe under WAL recovery). *)
+let backfill_set (r : backfill_row) : Ast.stmt list =
+  [ delete backfill_table ~where:(eq (col "view_name") (str_lit r.bf_view));
+    insert backfill_table
+      (Ast.Values
+         [ [ str_lit r.bf_view; str_lit r.bf_sql; str_lit r.bf_strategy;
+             str_lit r.bf_dialect; str_lit r.bf_refresh;
+             int_lit r.bf_chunk_rows; int_lit r.bf_total_chunks;
+             int_lit r.bf_chunks_done; str_lit r.bf_state;
+             int_lit r.bf_install_seq ] ]) ]
+
+let backfill_delete ~(view_name : string) : Ast.stmt list =
+  [ delete backfill_table ~where:(eq (col "view_name") (str_lit view_name)) ]
+
+let backfill_query : string =
+  Printf.sprintf
+    "SELECT view_name, view_sql, strategy, dialect, refresh, chunk_rows, \
+     total_chunks, chunks_done, state, install_seq FROM %s ORDER BY \
+     install_seq"
+    backfill_table
+
 let ddl : Ast.stmt list =
   watermark_ddl
   @ [ create_table ~if_not_exists:true views_table

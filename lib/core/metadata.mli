@@ -25,6 +25,41 @@ val watermark_query : source:string -> string
 (** SELECT returning the recorded watermark for [source] (empty result =
     nothing applied yet). *)
 
+(** {1 Resumable backfill progress}
+
+    One row per staged install in [_openivm_backfill_progress], updated
+    after every completed chunk and kept with [state = "done"] once
+    finished — the durable store's install ledger. Not part of {!ddl}
+    (compiled metadata DDL is golden-tested output); durable stores run
+    {!backfill_ddl} themselves. *)
+
+val backfill_table : string
+
+val backfill_ddl : Ast.stmt list
+(** CREATE TABLE IF NOT EXISTS for the progress ledger. *)
+
+type backfill_row = {
+  bf_view : string;
+  bf_sql : string;          (** the CREATE MATERIALIZED VIEW statement *)
+  bf_strategy : string;
+  bf_dialect : string;
+  bf_refresh : string;      (** "eager" | "lazy" *)
+  bf_chunk_rows : int;
+  bf_total_chunks : int;
+  bf_chunks_done : int;
+  bf_state : string;        (** "running" | "done" *)
+  bf_install_seq : int;     (** WAL seq of the install record — reattach
+                                order *)
+}
+
+val backfill_set : backfill_row -> Ast.stmt list
+(** Rewrite the whole progress row (delete + insert, idempotent). *)
+
+val backfill_delete : view_name:string -> Ast.stmt list
+
+val backfill_query : string
+(** SELECT of every progress row, ordered by install sequence. *)
+
 val register :
   Flags.t -> Shape.t -> view_sql:string -> depends_on:string list ->
   logical_plan:string -> scripts:(string * string) list -> Ast.stmt list

@@ -362,8 +362,17 @@ let store_scripts_on_disk (compiled : Compiler.t) =
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc (Compiler.full_sql compiled))
 
-let install ?(flags = Flags.default) ?(registry = []) (db : Database.t)
-    (sql : string) : view =
+(** Installation modes for the durable store:
+    - [`Immediate] (default) — DDL, metadata, initial load: the historical
+      single-shot install.
+    - [`Deferred] — DDL and metadata, but no initial load: the staged
+      backfill fills the view chunk by chunk afterwards
+      ({!backfill_chunk}).
+    - [`Attach] — neither DDL nor load: the backing, delta and metadata
+      tables already exist (a checkpoint-restored database); just compile,
+      register and re-arm capture. *)
+let install ?(flags = Flags.default) ?(registry = [])
+    ?(load = `Immediate) (db : Database.t) (sql : string) : view =
   let compiled =
     Span.with_span "install" (fun sp ->
         let compiled =
@@ -371,14 +380,24 @@ let install ?(flags = Flags.default) ?(registry = []) (db : Database.t)
               Compiler.compile ~flags (Database.catalog db) sql)
         in
         Span.set_str sp "view" compiled.Compiler.shape.Shape.view_name;
-        Span.with_span "setup_ddl" (fun _ ->
-            exec_stmts db compiled.Compiler.ddl;
-            exec_stmts db compiled.Compiler.metadata_ddl;
-            exec_stmts db compiled.Compiler.metadata_dml);
-        (* initial load must not be captured as a delta *)
-        Span.with_span "initial_load" (fun _ ->
-            Trigger.without_hooks (Database.triggers db) (fun () ->
-                exec_stmts db [ compiled.Compiler.initial_load ]));
+        (match load with
+         | `Attach ->
+           (* tables were restored from the checkpoint; metadata DDL is
+              IF NOT EXISTS and so safe (and needed when attaching to a
+              database snapshotted before a metadata table existed) *)
+           exec_stmts db compiled.Compiler.metadata_ddl
+         | `Immediate | `Deferred ->
+           Span.with_span "setup_ddl" (fun _ ->
+               exec_stmts db compiled.Compiler.ddl;
+               exec_stmts db compiled.Compiler.metadata_ddl;
+               exec_stmts db compiled.Compiler.metadata_dml));
+        (match load with
+         | `Immediate ->
+           (* initial load must not be captured as a delta *)
+           Span.with_span "initial_load" (fun _ ->
+               Trigger.without_hooks (Database.triggers db) (fun () ->
+                   exec_stmts db [ compiled.Compiler.initial_load ]))
+         | `Deferred | `Attach -> ());
         compiled)
   in
   store_scripts_on_disk compiled;
@@ -415,6 +434,80 @@ let install ?(flags = Flags.default) ?(registry = []) (db : Database.t)
             | Flags.Lazy -> ()))
     (Compiler.base_tables compiled);
   v
+
+(* --- staged backfill (the durable store's resumable initial load) --- *)
+
+let m_backfill_chunks =
+  Metrics.counter "openivm_backfill_chunks_total"
+    ~help:"backfill chunks applied (staged initial materialization)"
+
+(** Only a plain single-base-table source can be backfilled in chunks:
+    slices of the base table flow through the delta pipeline exactly like
+    captured changes, and linear/swap/rederive strategies all converge on
+    partial inputs. Joins need both sides at once, and view-over-view
+    sources must read a complete upstream — those load in one piece. *)
+let backfill_chunkable v =
+  match v.compiled.Compiler.shape.Shape.source with
+  | Shape.Single { Shape.from_view = false; _ } -> true
+  | Shape.Single _ | Shape.Joined _ -> false
+
+(** Number of chunks a [`Deferred] install of [v] needs at [chunk_rows]
+    rows per chunk (always 1 for non-chunkable shapes). *)
+let backfill_total_chunks v ~chunk_rows =
+  if not (backfill_chunkable v) then 1
+  else begin
+    let base = List.hd (Compiler.base_tables v.compiled) in
+    let rows =
+      Table.row_count (Catalog.find_table (Database.catalog v.db) base)
+    in
+    max 1 ((rows + chunk_rows - 1) / chunk_rows)
+  end
+
+(** Apply backfill chunk [index] (0-based) of a [`Deferred] install:
+    insert the chunk's slice of the base table into the delta table with
+    positive multiplicity and propagate. Chunk order and boundaries are
+    deterministic for a fixed base table (slot order), so replaying the
+    same chunk indexes over the same base state is idempotent-by-
+    construction: recovery re-derives the identical slices. Returns the
+    number of base rows folded in. *)
+let backfill_chunk v ~chunk_rows ~index =
+  Span.with_span "backfill.chunk"
+    ~attrs:
+      [ ("view", Span.Str (view_name v)); ("chunk", Span.Int index) ]
+    (fun _ ->
+       Metrics.incr m_backfill_chunks;
+       if not (backfill_chunkable v) then begin
+         (* single whole-shot chunk: the ordinary initial load *)
+         Trigger.without_hooks (Database.triggers v.db) (fun () ->
+             exec_stmts v.db [ v.compiled.Compiler.initial_load ]);
+         0
+       end
+       else begin
+         let catalog = Database.catalog v.db in
+         let base = List.hd (Compiler.base_tables v.compiled) in
+         let base_tbl = Catalog.find_table catalog base in
+         let delta =
+           Catalog.find_table catalog (Compiler.delta_table v.compiled base)
+         in
+         let width = Table.arity delta - 1 in
+         let rows = Table.to_rows base_tbl in
+         let lo = index * chunk_rows in
+         let chunk =
+           List.filteri (fun i _ -> i >= lo && i < lo + chunk_rows) rows
+         in
+         Trigger.without_hooks (Database.triggers v.db) (fun () ->
+             List.iter
+               (fun row ->
+                  let row =
+                    if Array.length row = width then row
+                    else Array.sub row 0 width
+                  in
+                  Table.insert delta (Array.append row [| Value.Bool true |]);
+                  v.pending_deltas <- v.pending_deltas + 1)
+               chunk);
+         force_refresh_local v;
+         List.length chunk
+       end)
 
 let uninstall v =
   let db = v.db in

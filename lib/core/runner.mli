@@ -30,13 +30,45 @@ val view_name : view -> string
 val dag_level : view -> int
 (** 0 for a view over base tables only; 1 + deepest upstream otherwise. *)
 
-val install : ?flags:Flags.t -> ?registry:view list -> Database.t -> string -> view
+val install :
+  ?flags:Flags.t -> ?registry:view list ->
+  ?load:[ `Immediate | `Deferred | `Attach ] ->
+  Database.t -> string -> view
 (** Compile and install a [CREATE MATERIALIZED VIEW] statement. The view
     definition may reference previously installed materialized views;
     pass their handles as [registry] so the cascade DAG links up (the
     {!extension} does this automatically). Registers the view in the
     catalog's materialized-view registry; cycles raise
-    {!Compiler.Unsupported_view} with diagnostic IVM201. *)
+    {!Compiler.Unsupported_view} with diagnostic IVM201.
+
+    [load] (default [`Immediate]) supports the durable store's staged
+    installs: [`Deferred] runs DDL and metadata but skips the initial
+    load (fill the view afterwards with {!backfill_chunk});
+    [`Attach] skips DDL and load entirely — the tables were restored
+    from a checkpoint — and only compiles, registers and re-arms
+    capture triggers. *)
+
+(** {1 Staged backfill}
+
+    Resumable initial materialization: a [`Deferred] install is filled in
+    [backfill_total_chunks] chunks, each a deterministic slot-order slice
+    of the base table pushed through the delta pipeline. Replaying a
+    prefix of chunk indexes over the same base state reproduces the same
+    partial view, so a killed backfill resumes at the last completed
+    chunk. *)
+
+val backfill_chunkable : view -> bool
+(** Whether the view's initial load can proceed in chunks (plain single
+    base-table source). Joins and view-over-view sources load in one
+    piece ([backfill_total_chunks] = 1). *)
+
+val backfill_total_chunks : view -> chunk_rows:int -> int
+
+val backfill_chunk : view -> chunk_rows:int -> index:int -> int
+(** Apply chunk [index] (0-based): insert its base-table slice into the
+    delta table with positive multiplicity and propagate. Returns the
+    number of base rows folded in (0 for the whole-shot chunk of a
+    non-chunkable view). *)
 
 val uninstall : view -> unit
 (** Unregister capture, drop the view's tables, clear its metadata.

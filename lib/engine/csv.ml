@@ -22,9 +22,11 @@ let quote_field s =
     Buffer.contents buf
   end
 
+(* floats must survive export → import bit-exactly (checkpoints depend on
+   it), so they print in round-trip form rather than display form *)
 let field_of_value = function
   | Value.Null -> ""
-  | v -> quote_field (Value.to_string v)
+  | v -> quote_field (Value.to_string_exact v)
 
 (** Split one CSV record (no embedded newlines across records here: rows
     with quoted newlines are joined by the reader before parsing). *)

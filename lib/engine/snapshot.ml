@@ -81,9 +81,13 @@ let capture (db : Database.t) ~(tables : string list) : mem =
     tables
 
 (** Restore every captured table to its memoized contents (truncate +
-    reinsert, hooks disabled — rollback must not re-trigger capture). *)
+    reinsert, hooks disabled — rollback must not re-trigger capture).
+    Also discards any deferred trigger callbacks: a rollback means the
+    surrounding statement failed, and its queued refreshes must not fire
+    later over the restored state (ghost deltas). *)
 let restore (db : Database.t) (memo : mem) : unit =
   let catalog = Database.catalog db in
+  Trigger.clear_deferred (Database.triggers db);
   Trigger.without_hooks (Database.triggers db) (fun () ->
       List.iter
         (fun (name, rows) ->

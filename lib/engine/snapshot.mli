@@ -26,4 +26,5 @@ val capture : Database.t -> tables:string list -> mem
 
 val restore : Database.t -> mem -> unit
 (** Truncate each captured table and reinsert its memoized rows (hooks
-    disabled). *)
+    disabled). Deferred trigger callbacks queued by the failed statement
+    are discarded first — rollback leaves no ghost refreshes behind. *)

@@ -37,6 +37,13 @@ let unregister t ~name =
     immediately. *)
 let defer t f = if t.firing then t.deferred <- f :: t.deferred else f ()
 
+let pending_deferred t = List.length t.deferred
+
+(** Forget queued deferred work without running it — the rollback path:
+    after a failed statement, its deferred refreshes must not fire over
+    half-applied (or restored) state on some later dispatch. *)
+let clear_deferred t = t.deferred <- []
+
 let drain t =
   let rec loop () =
     match t.deferred with
@@ -46,21 +53,30 @@ let drain t =
       List.iter (fun f -> f ()) (List.rev fs);
       loop ()
   in
-  loop ()
+  (* a deferred callback that raises must not leave its queued siblings
+     (or anything they deferred) behind as ghosts for the next dispatch *)
+  try loop () with e -> clear_deferred t; raise e
 
 let fire t (change : change) =
   if t.enabled && (change.inserted <> [] || change.deleted <> []) then begin
     let outermost = not t.firing in
     t.firing <- true;
-    Fun.protect
-      ~finally:(fun () -> if outermost then (t.firing <- false; drain t))
-      (fun () ->
-         List.iter
-           (fun (filter, _, hook) ->
-              match filter with
-              | Some tbl when not (String.equal tbl change.table) -> ()
-              | _ -> hook change)
-           (List.rev t.hooks))
+    match
+      List.iter
+        (fun (filter, _, hook) ->
+           match filter with
+           | Some tbl when not (String.equal tbl change.table) -> ()
+           | _ -> hook change)
+        (List.rev t.hooks)
+    with
+    | () -> if outermost then begin t.firing <- false; drain t end
+    | exception e ->
+      (* a failed statement's deferred refreshes are discarded, NOT run:
+         draining during exception unwind would propagate deltas of a
+         half-applied statement (and leak ghost deltas past a caller's
+         snapshot rollback) *)
+      if outermost then begin t.firing <- false; clear_deferred t end;
+      raise e
   end
 
 (** Run [f] with hooks disabled — used when the IVM runner itself mutates

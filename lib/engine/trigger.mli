@@ -23,12 +23,24 @@ val unregister : t -> name:string -> unit
 val fire : t -> change -> unit
 (** Invoke matching hooks (no-op for empty changes or when disabled).
     When the dispatch is the outermost one, callbacks queued with
-    {!defer} run after the last hook returns. *)
+    {!defer} run after the last hook returns. If a hook (or a deferred
+    callback) raises, the remaining deferred queue is discarded — a failed
+    statement's deferred refreshes must not fire over half-applied
+    state. *)
 
 val defer : t -> (unit -> unit) -> unit
 (** Inside a {!fire} dispatch: queue [f] to run once the outermost
     dispatch completes (cascade refresh ordering). Otherwise run [f]
     now. *)
+
+val pending_deferred : t -> int
+(** Deferred callbacks currently queued (0 outside a dispatch unless a
+    rollback interrupted one — see {!clear_deferred}). *)
+
+val clear_deferred : t -> unit
+(** Drop queued deferred callbacks without running them — transactional
+    rollback paths call this so no ghost refresh survives the failed
+    statement. *)
 
 val without_hooks : t -> (unit -> 'a) -> 'a
 (** Run with hooks disabled — the IVM runner's own writes must not

@@ -79,6 +79,31 @@ let to_string = function
   | Str s -> s
   | Date d -> date_to_string d
 
+(** Shortest float literal that parses back to exactly [f]. ["%.12g"] (the
+    display format) loses up to 5 bits; checkpoint files must be
+    loss-free, so escalate precision until [float_of_string] round-trips
+    (17 significant digits always do). *)
+let float_to_string_exact f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let try_prec p =
+      let s = Printf.sprintf "%.*g" p f in
+      if float_of_string s = f then Some s else None
+    in
+    match try_prec 15 with
+    | Some s -> s
+    | None ->
+      (match try_prec 16 with
+       | Some s -> s
+       | None -> Printf.sprintf "%.17g" f)
+
+(** [to_string] with round-trippable floats — the serialization format of
+    CSV checkpoints and WAL records ({!to_string} itself stays the
+    human-facing display format). *)
+let to_string_exact = function
+  | Float f -> float_to_string_exact f
+  | v -> to_string v
+
 let pp fmt v = Format.pp_print_string fmt (to_string v)
 
 (* --- ordering, equality, hashing --- *)

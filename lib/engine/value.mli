@@ -20,6 +20,11 @@ val date_of_string : string -> t
 val date_to_string : int -> string
 
 val to_string : t -> string
+val to_string_exact : t -> string
+(** [to_string] with round-trippable floats (shortest literal that parses
+    back to the identical bits) — what CSV checkpoints and WAL records
+    write, so durable state is loss-free. *)
+
 val pp : Format.formatter -> t -> unit
 
 val compare : t -> t -> int

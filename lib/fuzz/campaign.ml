@@ -16,13 +16,17 @@ type config = {
   dialects : Dialect.t list;                 (** [] = duckdb and postgres *)
   corpus_dir : string option;  (** where to save shrunk reproducers *)
   shrink : bool;
+  crash_seed : int option;
+      (** arm the {!Durable} crash-replay axis: cases that pass the
+          differential oracle are re-run through the durable store under
+          storage faults seeded from [crash_seed + case seed] *)
   log : string -> unit;
 }
 
 let default =
   { base_seed = 42; cases = 100; max_steps = 30; queries = 4;
     strategies = []; dialects = []; corpus_dir = None; shrink = true;
-    log = ignore }
+    crash_seed = None; log = ignore }
 
 type case_failure = {
   failure : Oracle.failure;
@@ -107,11 +111,35 @@ let run (cfg : config) : report =
     Metrics.incr m_cases;
     Metrics.add m_checks outcome.Oracle.checks;
     checks := !checks + outcome.Oracle.checks;
-    (match outcome.Oracle.failure with
-     | None ->
+    (* the crash-replay axis only makes sense on a case the plain oracle
+       accepts: a divergence under faults then implicates recovery *)
+    let durability_failure =
+      match outcome.Oracle.failure, cfg.crash_seed with
+      | None, Some crash_seed ->
+        let n, f =
+          Span.with_span "fuzz.durable" ~attrs:[ ("seed", Span.Int seed) ]
+            (fun _ -> Durable.check ~crash_seed case)
+        in
+        Metrics.add m_checks n;
+        checks := !checks + n;
+        f
+      | _ -> None
+    in
+    (match outcome.Oracle.failure, durability_failure with
+     | None, None ->
        if (i + 1) mod 50 = 0 then
          cfg.log (Printf.sprintf "fuzz: %d/%d cases green" (i + 1) cfg.cases)
-     | Some failure ->
+     | None, Some failure ->
+       (* a crash-replay divergence: the reproducer command already
+          replays the fault schedule, and the shrinker's oracle knows
+          nothing about crashes — keep the case as-is *)
+       Metrics.incr m_failures;
+       cfg.log (Printf.sprintf "fuzz: case seed=%d FAILED\n%s" seed
+                  failure.Oracle.message);
+       failures :=
+         { failure; minimized = case; shrink_stats = None; saved_to = None }
+         :: !failures
+     | Some failure, _ ->
        Metrics.incr m_failures;
        cfg.log (Printf.sprintf "fuzz: case seed=%d FAILED\n%s" seed
                   failure.Oracle.message);

@@ -14,11 +14,16 @@ type config = {
   dialects : Dialect.t list;                 (** [] = duckdb and postgres *)
   corpus_dir : string option;  (** where to save shrunk reproducers *)
   shrink : bool;
+  crash_seed : int option;
+      (** arm the {!Durable} crash-replay axis: cases that pass the
+          differential oracle are re-run through the durable store under
+          storage faults seeded from [crash_seed + case seed] *)
   log : string -> unit;
 }
 
 val default : config
-(** seed 42, 100 cases, 30 steps, 4 queries, full matrix, no corpus. *)
+(** seed 42, 100 cases, 30 steps, 4 queries, full matrix, no corpus, no
+    crash axis. *)
 
 type case_failure = {
   failure : Oracle.failure;

@@ -38,14 +38,17 @@ let empty =
 (** The exact CLI invocation that regenerates and re-checks this case —
     every oracle failure message embeds it so failures are one-paste
     reproducible. *)
-let command ?strategy ?dialect c =
-  Printf.sprintf "openivm fuzz --seed %d --cases 1 --max-steps %d%s%s"
+let command ?strategy ?dialect ?crash_seed c =
+  Printf.sprintf "openivm fuzz --seed %d --cases 1 --max-steps %d%s%s%s"
     c.seed c.max_steps
     (match strategy with
      | Some s -> " --strategy " ^ Flags.strategy_to_string s
      | None -> "")
     (match dialect with
      | Some d -> " --dialect " ^ d.Dialect.name
+     | None -> "")
+    (match crash_seed with
+     | Some n -> Printf.sprintf " --crash-seed %d" n
      | None -> "")
 
 (* --- serialization --- *)

@@ -32,9 +32,11 @@ val dialects : t -> Dialect.t list
 val empty : t
 
 val command :
-  ?strategy:Flags.combine_strategy -> ?dialect:Dialect.t -> t -> string
+  ?strategy:Flags.combine_strategy -> ?dialect:Dialect.t ->
+  ?crash_seed:int -> t -> string
 (** The exact [openivm fuzz] CLI invocation that regenerates and re-checks
-    this case — embedded in every failure message. *)
+    this case — embedded in every failure message. [crash_seed] replays
+    the {!Durable} crash-injection axis too. *)
 
 val to_string : t -> string
 (** Render in the corpus file format (headers + one statement per line). *)

@@ -1,0 +1,12 @@
+(** The crash-replay fuzz axis: run a case's statements through the
+    durable store while seeded storage faults kill the process at WAL
+    appends, backfill chunk boundaries and checkpoints, reopening the
+    directory after every death — then require the recovered views to
+    match a run that never crashed. The fault schedule derives from
+    [crash_seed + case.seed], so the reproducer command replays the
+    exact crash points. *)
+
+val check : crash_seed:int -> Case.t -> int * Oracle.failure option
+(** Returns (assertions run, first violation if any). Checks every
+    strategy in the case's effective strategy list under the default
+    dialect. *)

@@ -21,6 +21,7 @@ type point =
   | Initial            (** consistency right after the initial load *)
   | Step of int        (** consistency after workload step [i] (0-based) *)
   | Query of int       (** optimizer / roundtrip check of query [i] *)
+  | Durability         (** crash-replay convergence (the {!Durable} axis) *)
 
 type failure = {
   case : Case.t;
@@ -40,6 +41,7 @@ let point_to_string = function
   | Initial -> "initial load"
   | Step i -> Printf.sprintf "workload step %d" i
   | Query i -> Printf.sprintf "query %d" i
+  | Durability -> "durability (crash-replay)"
 
 (* --- helpers --- *)
 

@@ -10,6 +10,7 @@ type point =
   | Initial            (** consistency right after the initial load *)
   | Step of int        (** consistency after workload step [i] (0-based) *)
   | Query of int       (** optimizer / roundtrip check of query [i] *)
+  | Durability         (** crash-replay convergence (the {!Durable} axis) *)
 
 type failure = {
   case : Case.t;

@@ -1,19 +1,46 @@
-(** Deterministic fault injection for the cross-system bridge: each fault
-    kind fires with a configured probability from a dedicated seeded RNG,
-    so a failing chaos run replays exactly from its seed. *)
+(** Deterministic fault injection for the cross-system bridge and the
+    durable store: each fault kind fires with a configured probability
+    from a dedicated seeded RNG, so a failing chaos run replays exactly
+    from its seed. {!schedule} adds one-shot deterministic injections
+    ("fire on the Nth roll") for crash-point replay. *)
 
-type kind = Drop | Duplicate | Reorder | Corrupt | Crash
+type kind =
+  | Drop               (** batch lost in transit *)
+  | Duplicate          (** batch delivered twice *)
+  | Reorder            (** batch held back, delivered after a later one *)
+  | Corrupt            (** a wire byte flipped (caught by the checksum) *)
+  | Crash              (** OLAP crashes mid-batch during apply *)
+  | Torn_tail          (** WAL append crashes mid-payload (torn tail) *)
+  | Truncated_record   (** WAL append crashes mid-header *)
+  | Corrupt_record     (** a WAL byte flips on the way to disk, then crash *)
+  | Chunk_crash        (** process killed at a backfill chunk boundary *)
+  | Truncate_crash     (** killed between checkpoint and WAL truncation *)
+
+exception Injected_crash
+(** Raised by storage-fault injection sites to simulate the process dying
+    with the file state exactly as written so far. *)
+
+val wire_kinds : kind list
+(** The five bridge faults (the historical set). *)
+
+val storage_kinds : kind list
+(** The five durable-store faults. *)
 
 val all_kinds : kind list
 val kind_to_string : kind -> string
 
 (** Per-kind fire probabilities in [0, 1]. *)
 type spec = {
-  drop : float;       (** batch lost in transit *)
-  duplicate : float;  (** batch delivered twice *)
-  reorder : float;    (** batch held back, delivered after a later one *)
-  corrupt : float;    (** a wire byte flipped (caught by the checksum) *)
-  crash : float;      (** OLAP crashes mid-batch during apply *)
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  corrupt : float;
+  crash : float;
+  torn_tail : float;
+  truncated_record : float;
+  corrupt_record : float;
+  chunk_crash : float;
+  truncate_crash : float;
 }
 
 val none : spec
@@ -21,7 +48,12 @@ val none : spec
 val chaos :
   ?drop:float -> ?duplicate:float -> ?reorder:float -> ?corrupt:float ->
   ?crash:float -> unit -> spec
-(** Every knob defaults to 10%. *)
+(** Every wire knob defaults to 10%; storage knobs stay off. *)
+
+val storage_chaos :
+  ?torn_tail:float -> ?truncated_record:float -> ?corrupt_record:float ->
+  ?chunk_crash:float -> ?truncate_crash:float -> unit -> spec
+(** Every storage knob defaults to 10%; wire knobs stay off. *)
 
 val probability : spec -> kind -> float
 
@@ -37,6 +69,13 @@ val active : t -> bool
 val roll : t -> kind -> bool
 (** Fire [kind] with its configured probability; counts the injection.
     Always false (consuming no randomness) while suspended. *)
+
+val schedule : t -> kind -> after:int -> unit
+(** Arm a deterministic one-shot: the ([after] + 1)-th {!roll} of [kind]
+    fires regardless of probability, then disarms. Scheduled rolls consume
+    no randomness. *)
+
+val unschedule : t -> kind -> unit
 
 val draw : t -> int -> int
 (** Deterministic draw in [0, bound): crash position, corrupted byte. *)

@@ -70,6 +70,8 @@ type t = {
   strict_replica : bool;
   max_retries : int;
   backoff_base : float;
+  on_apply :
+    (source:string -> seq:int -> replica:bool -> Row.t list -> unit) option;
   stats : stats;
   mutable crashed : bool;
   mutable syncs : int;
@@ -98,18 +100,36 @@ let propagation_needs_base (compiled : Openivm.Compiler.t) : bool =
     [view_sql] is compiled and installed on the OLAP side; capture
     triggers are registered on the OLTP side. [strict_replica] turns a
     replica deletion that finds no matching row (silent divergence) into
-    an error instead of a counted miss. *)
+    an error instead of a counted miss.
+
+    [olap]/[view] attach the pipeline to an existing OLAP database (a
+    durable store recovered from disk): the schema and view already exist
+    there, so neither is created again. [on_apply] is the durability
+    hook — called after a batch landed and its watermark advanced, but
+    {e before} the outbox acknowledgement, so a store journaling the
+    batch that then dies leaves the batch unacknowledged and redelivery
+    (deduplicated by the watermark) preserves exactly-once. *)
 let create ?(flags = Openivm.Flags.default) ?oltp_latency ?bridge
     ?(strict_replica = false) ?(max_retries = 8) ?(backoff_base = 50e-6)
+    ?olap ?view ?on_apply
     ~(schema_sql : string) ~(view_sql : string) () : t =
   let oltp = Oltp.create ?latency:oltp_latency () in
-  let olap = Database.create ~name:"duckdb" () in
+  let olap =
+    match olap with
+    | Some db -> db
+    | None -> Database.create ~name:"duckdb" ()
+  in
   let bridge = match bridge with Some b -> b | None -> Bridge.create () in
   ignore (Database.exec_script (Oltp.db oltp) schema_sql);
   (* base tables also exist on the OLAP side: empty replicas when the
-     propagation needs them, or mere schema stubs for compilation *)
-  ignore (Database.exec_script olap schema_sql);
-  let v = Openivm.Runner.install ~flags olap view_sql in
+     propagation needs them, or mere schema stubs for compilation —
+     unless we are attaching to a database that already has them *)
+  if view = None then ignore (Database.exec_script olap schema_sql);
+  let v =
+    match view with
+    | Some v -> v
+    | None -> Openivm.Runner.install ~flags olap view_sql
+  in
   (* deltas arrive via the bridge, not via OLAP-side capture *)
   v.Openivm.Runner.capture_enabled <- false;
   (* the watermark ledger ships with Metadata.ddl, but older databases may
@@ -125,8 +145,8 @@ let create ?(flags = Openivm.Flags.default) ?oltp_latency ?bridge
     base_tables;
   { oltp; olap; bridge; view = v; base_tables;
     needs_replica = propagation_needs_base v.Openivm.Runner.compiled;
-    strict_replica; max_retries; backoff_base; stats = fresh_stats ();
-    crashed = false; syncs = 0 }
+    strict_replica; max_retries; backoff_base; on_apply;
+    stats = fresh_stats (); crashed = false; syncs = 0 }
 
 (* --- watermarks (idempotent apply) --- *)
 
@@ -200,6 +220,12 @@ let apply_batch t ~(source : string) ~(seq : int) (rows : Row.t list) : unit =
     set_watermark t source seq;
     t.view.Openivm.Runner.pending_deltas <-
       t.view.Openivm.Runner.pending_deltas + n;
+    (* durability hook between watermark and ack: if journaling dies here
+       the batch stays in the outbox, and on redelivery the recovered
+       watermark (advanced iff the journal record survived) dedupes it *)
+    (match t.on_apply with
+     | Some f -> f ~source ~seq ~replica:t.needs_replica rows
+     | None -> ());
     Oltp.ack t.oltp ~base:source ~seq;
     t.stats.batches_applied <- t.stats.batches_applied + 1;
     t.stats.rows_applied <- t.stats.rows_applied + n;

@@ -38,6 +38,10 @@ type t = {
   strict_replica : bool;
   max_retries : int;
   backoff_base : float;
+  on_apply :
+    (source:string -> seq:int -> replica:bool -> Row.t list -> unit) option;
+      (** durability hook: called after a batch landed and its watermark
+          advanced, before the outbox acknowledgement *)
   stats : stats;
   mutable crashed : bool;
   mutable syncs : int;
@@ -50,6 +54,9 @@ val create :
   ?strict_replica:bool ->
   ?max_retries:int ->
   ?backoff_base:float ->
+  ?olap:Database.t ->
+  ?view:Openivm.Runner.view ->
+  ?on_apply:(source:string -> seq:int -> replica:bool -> Row.t list -> unit) ->
   schema_sql:string ->
   view_sql:string ->
   unit ->
@@ -60,7 +67,14 @@ val create :
     created with a {!Fault} harness to inject failures. [strict_replica]
     turns silent replica divergence into an error; [max_retries] (default
     8) bounds resends per sync; [backoff_base] (default 50µs) seeds the
-    exponential backoff between resends. *)
+    exponential backoff between resends.
+
+    [olap] and [view] together attach the pipeline to an existing OLAP
+    database — a durable store recovered from disk — instead of creating
+    the schema and installing the view anew. [on_apply] journals each
+    applied batch before it is acknowledged: a store that dies inside the
+    hook leaves the batch unacknowledged, and redelivery is deduplicated
+    by the recovered watermark — exactly-once survives the restart. *)
 
 val view : t -> Openivm.Runner.view
 val olap : t -> Database.t

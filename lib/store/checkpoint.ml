@@ -1,0 +1,133 @@
+(** Checkpoint persistence. The crash-safety protocol, in write order:
+
+    1. snapshot the database into [checkpoint-<seq>.tmp];
+    2. write [MANIFEST] into the tmp directory {e last} — it records the
+       last folded WAL sequence number and an Adler-32 checksum per file,
+       so its presence certifies the files before it are complete;
+    3. atomically rename the tmp directory to [checkpoint-<seq>].
+
+    A crash before (3) leaves a [.tmp] directory recovery ignores (and
+    {!prune} sweeps); a corrupted file fails its checksum and the whole
+    checkpoint is skipped in favor of an older one. *)
+
+open Openivm_engine
+module Metrics = Openivm_obs.Metrics
+
+let m_checkpoints =
+  Metrics.counter "openivm_checkpoints_total"
+    ~help:"checkpoints written by durable stores"
+
+let manifest_name = "MANIFEST"
+let prefix = "checkpoint-"
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let checkpoint_seq (name : string) : int option =
+  if String.length name > String.length prefix
+     && String.sub name 0 (String.length prefix) = prefix
+  then
+    int_of_string_opt
+      (String.sub name (String.length prefix)
+         (String.length name - String.length prefix))
+  else None
+
+let save (db : Database.t) ~(dir : string) ~(last_seq : int) : string =
+  Openivm_obs.Span.with_span "checkpoint"
+    ~attrs:[ ("last_seq", Openivm_obs.Span.Int last_seq) ]
+    (fun _ ->
+       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+       let final = Filename.concat dir (Printf.sprintf "%s%d" prefix last_seq) in
+       let tmp = final ^ ".tmp" in
+       rm_rf tmp;
+       ignore (Snapshot.save db ~dir:tmp);
+       let files =
+         List.filter
+           (fun n -> n <> manifest_name)
+           (Array.to_list (Sys.readdir tmp))
+       in
+       let oc = open_out (Filename.concat tmp manifest_name) in
+       Fun.protect
+         ~finally:(fun () -> close_out oc)
+         (fun () ->
+            Printf.fprintf oc "last_seq %d\n" last_seq;
+            List.iter
+              (fun n ->
+                 Printf.fprintf oc "file %d %s\n"
+                   (Wal.adler32 (read_file (Filename.concat tmp n)))
+                   n)
+              (List.sort String.compare files));
+       rm_rf final;
+       Sys.rename tmp final;
+       Metrics.incr m_checkpoints;
+       final)
+
+let validate (ckpt_dir : string) : int option =
+  let manifest = Filename.concat ckpt_dir manifest_name in
+  if not (Sys.file_exists manifest) then None
+  else begin
+    let lines = String.split_on_char '\n' (read_file manifest) in
+    let seq = ref None and ok = ref true in
+    List.iter
+      (fun line ->
+         match String.split_on_char ' ' line with
+         | [ "last_seq"; n ] -> seq := int_of_string_opt n
+         | "file" :: sum :: rest ->
+           let name = String.concat " " rest in
+           let path = Filename.concat ckpt_dir name in
+           if not
+                (Sys.file_exists path
+                 && int_of_string_opt sum
+                    = Some (Wal.adler32 (read_file path)))
+           then ok := false
+         | _ -> ())
+      lines;
+    if !ok then !seq else None
+  end
+
+let list ~(dir : string) : (int * string) list =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun n ->
+        match checkpoint_seq n with
+        | Some seq when Sys.is_directory (Filename.concat dir n) ->
+          Some (seq, Filename.concat dir n)
+        | _ -> None)
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+
+let load_latest ~(dir : string) : (Database.t * int) option =
+  let rec try_each = function
+    | [] -> None
+    | (seq, path) :: rest ->
+      (match validate path with
+       | Some manifest_seq when manifest_seq = seq ->
+         (try Some (Snapshot.load ~dir:path, seq)
+          with _ -> try_each rest)
+       | _ -> try_each rest)
+  in
+  try_each (list ~dir)
+
+let prune ~(dir : string) ~(keep : int) : unit =
+  if Sys.file_exists dir then begin
+    (* leftover tmp dirs from interrupted saves *)
+    Array.iter
+      (fun n ->
+         if Filename.check_suffix n ".tmp" then
+           rm_rf (Filename.concat dir n))
+      (Sys.readdir dir);
+    List.iteri
+      (fun i (_, path) -> if i >= keep then rm_rf path)
+      (list ~dir)
+  end

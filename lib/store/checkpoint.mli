@@ -1,0 +1,35 @@
+(** Durable checkpoints: a {!Openivm_engine.Snapshot}-format directory
+    (schema.sql + one CSV per table) per checkpoint, named
+    [checkpoint-<seq>] where [seq] is the last WAL sequence number folded
+    into it.
+
+    Crash-safety comes from ordering, not locking: the snapshot is
+    written into a [.tmp] directory, a [MANIFEST] recording [seq] and a
+    checksum per file is written {e last}, and the directory is renamed
+    into place atomically. A checkpoint without a valid manifest (or with
+    a checksum mismatch) never existed as far as recovery is concerned —
+    {!load_latest} falls back to the next older one. *)
+
+open Openivm_engine
+
+val save : Database.t -> dir:string -> last_seq:int -> string
+(** Checkpoint the whole database under [dir] (created if missing);
+    returns the checkpoint directory path. An existing checkpoint at the
+    same sequence number is replaced. *)
+
+val validate : string -> int option
+(** Does this checkpoint directory have a complete, checksum-clean
+    manifest? Returns its recorded [last_seq] if so. *)
+
+val list : dir:string -> (int * string) list
+(** All checkpoint directories under [dir] with a parseable sequence
+    number, newest first. Includes not-yet-validated ones. *)
+
+val load_latest : dir:string -> (Database.t * int) option
+(** Load the newest {e valid} checkpoint, skipping any that fail
+    {!validate} (a crash mid-save leaves an invalid or [.tmp] directory
+    behind). Returns the restored database and its [last_seq]. *)
+
+val prune : dir:string -> keep:int -> unit
+(** Delete all but the newest [keep] checkpoints, plus any leftover
+    [.tmp] directories from interrupted saves. *)

@@ -1,0 +1,333 @@
+(** The write-ahead log. See the interface for the record layout; the
+    invariants that matter here:
+
+    - every append is flushed before returning — a record either made it
+      to the file whole or the reader rejects it;
+    - the checksum covers the body (seq + tag + payload), the length
+      prefix bounds the read, and decoding is total (any malformed input
+      is a torn tail, never an exception);
+    - injected storage faults leave the file exactly as a dying process
+      would: partial header, partial body, or a flipped byte, then
+      {!Openivm_htap.Fault.Injected_crash}. *)
+
+open Openivm_engine
+module Fault = Openivm_htap.Fault
+module Metrics = Openivm_obs.Metrics
+
+let m_records =
+  Metrics.counter "openivm_wal_records_total"
+    ~help:"records appended to the write-ahead log"
+
+let m_bytes =
+  Metrics.counter "openivm_wal_bytes_total"
+    ~help:"bytes appended to the write-ahead log"
+
+let m_truncations =
+  Metrics.counter "openivm_wal_truncations_total"
+    ~help:"post-checkpoint WAL truncations"
+
+let m_torn =
+  Metrics.counter "openivm_wal_torn_tail_total"
+    ~help:"torn or corrupt WAL tails discarded during recovery"
+
+type payload =
+  | Stmt of string
+  | Install of {
+      view_sql : string;
+      chunk_rows : int;
+      strategy : string;
+      dialect : string;
+      refresh : string;
+    }
+  | Chunk of { view : string; index : int }
+  | Batch of {
+      view : string;
+      source : string;
+      seq : int;
+      replica : bool;
+      rows : Row.t list;
+    }
+
+type record = { seq : int; payload : payload }
+
+let payload_to_string = function
+  | Stmt sql -> Printf.sprintf "stmt %S" sql
+  | Install { view_sql; chunk_rows; _ } ->
+    Printf.sprintf "install chunk_rows=%d %S" chunk_rows view_sql
+  | Chunk { view; index } -> Printf.sprintf "chunk view=%s index=%d" view index
+  | Batch { view; source; seq; replica; rows } ->
+    Printf.sprintf "batch view=%s source=%s seq=%d replica=%b rows=%d" view
+      source seq replica (List.length rows)
+
+(* --- checksum --- *)
+
+let adler32 (s : string) : int =
+  let a = ref 1 and b = ref 0 in
+  String.iter
+    (fun c ->
+       a := (!a + Char.code c) mod 65521;
+       b := (!b + !a) mod 65521)
+    s;
+  (!b lsl 16) lor !a
+
+(* --- codec --- *)
+
+let add_u32 buf n = Buffer.add_int32_le buf (Int32.of_int n)
+let add_u64 buf n = Buffer.add_int64_le buf (Int64.of_int n)
+
+let add_str buf s =
+  add_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let add_value buf = function
+  | Value.Null -> Buffer.add_char buf 'N'
+  | Value.Bool b ->
+    Buffer.add_char buf 'B';
+    Buffer.add_char buf (if b then '\001' else '\000')
+  | Value.Int i ->
+    Buffer.add_char buf 'I';
+    add_u64 buf i
+  | Value.Float f ->
+    (* round-trippable decimal beats raw bits here: records stay
+       inspectable and share the CSV checkpoint's exact-float contract *)
+    Buffer.add_char buf 'F';
+    add_str buf (Value.to_string_exact (Value.Float f))
+  | Value.Str s ->
+    Buffer.add_char buf 'S';
+    add_str buf s
+  | Value.Date d ->
+    Buffer.add_char buf 'D';
+    add_u64 buf d
+
+let add_row buf (row : Row.t) =
+  add_u32 buf (Array.length row);
+  Array.iter (add_value buf) row
+
+let tag_of = function
+  | Stmt _ -> '\001'
+  | Install _ -> '\002'
+  | Chunk _ -> '\003'
+  | Batch _ -> '\004'
+
+let encode_body ~seq (p : payload) : string =
+  let buf = Buffer.create 64 in
+  add_u64 buf seq;
+  Buffer.add_char buf (tag_of p);
+  (match p with
+   | Stmt sql -> add_str buf sql
+   | Install { view_sql; chunk_rows; strategy; dialect; refresh } ->
+     add_str buf view_sql;
+     add_u32 buf chunk_rows;
+     add_str buf strategy;
+     add_str buf dialect;
+     add_str buf refresh
+   | Chunk { view; index } ->
+     add_str buf view;
+     add_u32 buf index
+   | Batch { view; source; seq; replica; rows } ->
+     add_str buf view;
+     add_str buf source;
+     add_u64 buf seq;
+     Buffer.add_char buf (if replica then '\001' else '\000');
+     add_u32 buf (List.length rows);
+     List.iter (add_row buf) rows);
+  Buffer.contents buf
+
+(* Decoding is total: [Torn] marks any malformed input. *)
+exception Torn
+
+let get_u32 s pos =
+  if !pos + 4 > String.length s then raise Torn;
+  let n = Int32.to_int (String.get_int32_le s !pos) in
+  pos := !pos + 4;
+  n land 0xFFFFFFFF
+
+let get_u64 s pos =
+  if !pos + 8 > String.length s then raise Torn;
+  let n = Int64.to_int (String.get_int64_le s !pos) in
+  pos := !pos + 8;
+  n
+
+let get_char s pos =
+  if !pos >= String.length s then raise Torn;
+  let c = s.[!pos] in
+  incr pos;
+  c
+
+let get_str s pos =
+  let len = get_u32 s pos in
+  if len < 0 || !pos + len > String.length s then raise Torn;
+  let r = String.sub s !pos len in
+  pos := !pos + len;
+  r
+
+let get_value s pos =
+  match get_char s pos with
+  | 'N' -> Value.Null
+  | 'B' -> Value.Bool (get_char s pos = '\001')
+  | 'I' -> Value.Int (get_u64 s pos)
+  | 'F' ->
+    let lit = get_str s pos in
+    (match float_of_string_opt lit with
+     | Some f -> Value.Float f
+     | None -> raise Torn)
+  | 'S' -> Value.Str (get_str s pos)
+  | 'D' -> Value.Date (get_u64 s pos)
+  | _ -> raise Torn
+
+let get_row s pos : Row.t =
+  let n = get_u32 s pos in
+  if n > String.length s then raise Torn;
+  Array.init n (fun _ -> get_value s pos)
+
+let decode_body (body : string) : record =
+  let pos = ref 0 in
+  let seq = get_u64 body pos in
+  let payload =
+    match get_char body pos with
+    | '\001' -> Stmt (get_str body pos)
+    | '\002' ->
+      let view_sql = get_str body pos in
+      let chunk_rows = get_u32 body pos in
+      let strategy = get_str body pos in
+      let dialect = get_str body pos in
+      let refresh = get_str body pos in
+      Install { view_sql; chunk_rows; strategy; dialect; refresh }
+    | '\003' ->
+      let view = get_str body pos in
+      let index = get_u32 body pos in
+      Chunk { view; index }
+    | '\004' ->
+      let view = get_str body pos in
+      let source = get_str body pos in
+      let bseq = get_u64 body pos in
+      let replica = get_char body pos = '\001' in
+      let n = get_u32 body pos in
+      if n > String.length body then raise Torn;
+      let rows = List.init n (fun _ -> get_row body pos) in
+      Batch { view; source; seq = bseq; replica; rows }
+    | _ -> raise Torn
+  in
+  if !pos <> String.length body then raise Torn;
+  { seq; payload }
+
+(* --- appending --- *)
+
+type writer = {
+  path : string;
+  mutable oc : out_channel;
+  faults : Fault.t option;
+  mutable seq : int;  (** next sequence number to assign *)
+}
+
+let open_append path =
+  open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path
+
+let openw ?faults ~path ~next_seq () : writer =
+  { path; oc = open_append path; faults; seq = next_seq }
+
+let next_seq w = w.seq
+
+let roll w kind =
+  match w.faults with None -> false | Some f -> Fault.roll f kind
+
+let draw w bound =
+  match w.faults with None -> 0 | Some f -> Fault.draw f bound
+
+(** Simulate the process dying mid-write: emit [prefix] bytes of the full
+    record image, flush, raise. The writer is left unusable on purpose —
+    recovery reopens the file. *)
+let die_torn w (image : string) (prefix : int) : 'a =
+  output_substring w.oc image 0 prefix;
+  flush w.oc;
+  raise Fault.Injected_crash
+
+let append (w : writer) (p : payload) : int =
+  let seq = w.seq in
+  let body = encode_body ~seq p in
+  let header = Buffer.create 8 in
+  add_u32 header (String.length body);
+  add_u32 header (adler32 body);
+  let image = Buffer.contents header ^ body in
+  if roll w Fault.Truncated_record then
+    (* die mid-header: 1..7 bytes of the length/checksum prefix *)
+    die_torn w image (1 + draw w 7)
+  else if roll w Fault.Torn_tail then
+    (* die mid-body: full header, partial payload *)
+    die_torn w image (8 + draw w (max 1 (String.length body)))
+  else if roll w Fault.Corrupt_record then begin
+    (* a byte flips on the way to disk, then the process dies; the
+       checksum catches it on recovery *)
+    let b = Bytes.of_string image in
+    let i = 8 + draw w (max 1 (String.length body)) in
+    let i = min i (Bytes.length b - 1) in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5A));
+    output_bytes w.oc b;
+    flush w.oc;
+    raise Fault.Injected_crash
+  end
+  else begin
+    output_string w.oc image;
+    flush w.oc;
+    w.seq <- seq + 1;
+    Metrics.incr m_records;
+    Metrics.add m_bytes (String.length image);
+    seq
+  end
+
+let truncate (w : writer) : unit =
+  if roll w Fault.Truncate_crash then raise Fault.Injected_crash;
+  close_out w.oc;
+  close_out (open_out_gen [ Open_wronly; Open_trunc; Open_binary ] 0o644 w.path);
+  w.oc <- open_append w.path;
+  Metrics.incr m_truncations
+
+let close (w : writer) : unit = close_out w.oc
+
+(* --- reading --- *)
+
+type read_result = {
+  records : record list;
+  valid_bytes : int;
+  torn : bool;
+}
+
+let read_file path : string =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let max_record_bytes = 1 lsl 30
+
+let read ~path : read_result =
+  if not (Sys.file_exists path) then
+    { records = []; valid_bytes = 0; torn = false }
+  else begin
+    let data = read_file path in
+    let len = String.length data in
+    let records = ref [] in
+    let off = ref 0 in
+    (try
+       while !off + 8 <= len do
+         let pos = ref !off in
+         let body_len = get_u32 data pos in
+         let checksum = get_u32 data pos in
+         if body_len > max_record_bytes || !pos + body_len > len then
+           raise Torn;
+         let body = String.sub data !pos body_len in
+         if adler32 body <> checksum then raise Torn;
+         let r = decode_body body in
+         records := r :: !records;
+         off := !pos + body_len
+       done
+     with Torn -> ());
+    let torn = !off < len in
+    if torn then Metrics.incr m_torn;
+    { records = List.rev !records; valid_bytes = !off; torn }
+  end
+
+let repair ~path : read_result =
+  let r = read ~path in
+  if r.torn then Unix.truncate path r.valid_bytes;
+  r

@@ -1,0 +1,91 @@
+(** The write-ahead log: an append-only file of length-prefixed,
+    checksummed, sequence-numbered records. One record per committed
+    operation; a statement is committed iff its record is durable.
+
+    On-disk record layout (all integers little-endian):
+    {v
+      [u32 body length][u32 Adler-32 of body][body]
+      body = [u64 seq][u8 tag][payload]
+    v}
+
+    Reading stops at the first invalid record (short header, implausible
+    length, checksum mismatch, undecodable payload): everything after a
+    torn tail is by definition uncommitted. {!repair} truncates the file
+    back to the valid prefix so the next append starts clean. *)
+
+open Openivm_engine
+
+type payload =
+  | Stmt of string
+      (** a committed SQL statement (DML/DDL), replayed verbatim *)
+  | Install of {
+      view_sql : string;   (** the CREATE MATERIALIZED VIEW statement *)
+      chunk_rows : int;
+      strategy : string;
+      dialect : string;
+      refresh : string;
+    }
+      (** staged install started: DDL + metadata are logically committed,
+          the view fills via subsequent {!Chunk} records *)
+  | Chunk of { view : string; index : int }
+      (** backfill chunk [index] of [view] completed *)
+  | Batch of {
+      view : string;
+      source : string;
+      seq : int;           (** bridge batch sequence (per source) *)
+      replica : bool;      (** rows were also applied to the base replica *)
+      rows : Row.t list;   (** delta rows incl. multiplicity column *)
+    }
+      (** an HTAP bridge batch durably applied (watermark advanced) *)
+
+type record = { seq : int; payload : payload }
+
+val payload_to_string : payload -> string
+(** One-line description for logs and the [recover] CLI. *)
+
+(** {1 Appending} *)
+
+type writer
+
+val openw :
+  ?faults:Openivm_htap.Fault.t -> path:string -> next_seq:int -> unit ->
+  writer
+(** Open (creating if missing) for append. [next_seq] seeds the sequence
+    counter — callers derive it from recovery so sequence numbers stay
+    monotonic across truncations. *)
+
+val append : writer -> payload -> int
+(** Write one record, flush, return its sequence number. Storage faults
+    (when a harness was passed) fire here: [Torn_tail] writes a partial
+    body, [Truncated_record] a partial header, [Corrupt_record] flips a
+    body byte — each then raises
+    {!Openivm_htap.Fault.Injected_crash} with the file exactly as a
+    dying process would leave it. *)
+
+val next_seq : writer -> int
+val truncate : writer -> unit
+(** Empty the file (after a checkpoint); the sequence counter keeps
+    counting. May raise [Injected_crash] via the [Truncate_crash] fault
+    {e before} truncating — modelling death between checkpoint and
+    truncation. *)
+
+val close : writer -> unit
+
+(** {1 Reading} *)
+
+type read_result = {
+  records : record list;  (** the valid prefix, in append order *)
+  valid_bytes : int;      (** file offset where the valid prefix ends *)
+  torn : bool;            (** bytes (an unreadable tail) followed it *)
+}
+
+val read : path:string -> read_result
+(** Decode the valid prefix of the log (empty result if the file does not
+    exist). Never raises on malformed input — garbage is a torn tail. *)
+
+val repair : path:string -> read_result
+(** {!read}, then truncate the file back to [valid_bytes] so subsequent
+    appends extend a clean log. *)
+
+val adler32 : string -> int
+(** The record checksum (exposed for checkpoint manifests). *)

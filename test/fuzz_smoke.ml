@@ -40,5 +40,19 @@ let () =
   in
   let report = Openivm_fuzz.Campaign.run config in
   print_endline (Openivm_fuzz.Campaign.summary report);
-  if corpus_failures <> [] || report.Openivm_fuzz.Campaign.failures <> []
+  (* a short crash-replay pass: cases re-run through the durable store
+     under seeded storage faults (kill + reopen at every injected death)
+     must converge to their no-crash run — kept small, every case pays
+     for a store per strategy *)
+  let crash_config =
+    { Openivm_fuzz.Campaign.default with
+      base_seed = 4242; cases = 5; max_steps = 12; queries = 0;
+      crash_seed = Some 99;
+      log = (fun s -> Printf.printf "%s\n%!" s) }
+  in
+  let crash_report = Openivm_fuzz.Campaign.run crash_config in
+  print_endline ("crash axis " ^ Openivm_fuzz.Campaign.summary crash_report);
+  if corpus_failures <> []
+     || report.Openivm_fuzz.Campaign.failures <> []
+     || crash_report.Openivm_fuzz.Campaign.failures <> []
   then exit 1

@@ -32,4 +32,5 @@ let () =
       ("snapshot", Test_snapshot.suite);
       ("tpch", Test_tpch.suite);
       ("obs", Test_obs.suite);
+      ("store", Test_store.suite);
     ]

@@ -76,4 +76,77 @@ let suite =
         match Snapshot.load ~dir:"/nonexistent/snapshot/dir" with
         | exception Error.Sql_error _ -> ()
         | _ -> Alcotest.fail "expected error");
+    Util.tc "a raising hook discards the deferred refresh queue" (fun () ->
+        (* eager refreshes run deferred, after the outermost trigger
+           dispatch; if a later hook aborts the statement those deferred
+           callbacks must not fire over half-applied state — and must not
+           linger to fire under some future, unrelated statement *)
+        let db =
+          Util.db_with
+            [ "CREATE TABLE groups(group_index VARCHAR, group_value INTEGER)";
+              "INSERT INTO groups VALUES ('a', 1)" ]
+        in
+        let eager =
+          { Openivm.Flags.default with Openivm.Flags.refresh = Openivm.Flags.Eager }
+        in
+        let v =
+          Openivm.Runner.install ~flags:eager db
+            "CREATE MATERIALIZED VIEW qg AS SELECT group_index, \
+             SUM(group_value) AS s FROM groups GROUP BY group_index"
+        in
+        let exception Veto in
+        (* registered after the IVM capture hook, so the eager refresh is
+           already queued when this fires *)
+        Trigger.register (Database.triggers db) ~table:"groups" ~name:"veto"
+          (fun _ -> raise Veto);
+        (match Database.exec db "INSERT INTO groups VALUES ('b', 2)" with
+         | exception Veto -> ()
+         | _ -> Alcotest.fail "expected the veto to propagate");
+        Alcotest.(check int) "no ghost refresh queued" 0
+          (Trigger.pending_deferred (Database.triggers db));
+        Alcotest.(check int) "deferred refresh never fired" 0
+          v.Openivm.Runner.refresh_count;
+        (* the engine applied the row before hooks fired; the view still
+           converges once refreshed through the normal path *)
+        Trigger.unregister (Database.triggers db) ~name:"veto";
+        Openivm.Runner.refresh v;
+        Util.check_view_consistent db v);
+    Util.tc "restore during a dispatch clears deferred refreshes" (fun () ->
+        (* the HTAP bridge's transactional apply in miniature: snapshot,
+           apply, and on a mid-batch failure restore — any eager refresh
+           deferred by the half-applied statement must vanish with the
+           rollback instead of firing over restored state *)
+        let db =
+          Util.db_with
+            [ "CREATE TABLE groups(group_index VARCHAR, group_value INTEGER)";
+              "INSERT INTO groups VALUES ('a', 1)" ]
+        in
+        let eager =
+          { Openivm.Flags.default with Openivm.Flags.refresh = Openivm.Flags.Eager }
+        in
+        let v =
+          Openivm.Runner.install ~flags:eager db
+            "CREATE MATERIALIZED VIEW qg AS SELECT group_index, \
+             SUM(group_value) AS s FROM groups GROUP BY group_index"
+        in
+        let memo =
+          Snapshot.capture db ~tables:[ "groups"; "delta_qg__groups" ]
+        in
+        let saw_deferred = ref (-1) in
+        Trigger.register (Database.triggers db) ~table:"groups"
+          ~name:"rollback" (fun _ ->
+              saw_deferred :=
+                Trigger.pending_deferred (Database.triggers db);
+              Snapshot.restore db memo);
+        Util.exec db "INSERT INTO groups VALUES ('b', 2)";
+        Alcotest.(check int) "the eager refresh had been queued" 1
+          !saw_deferred;
+        Alcotest.(check int) "rollback dropped it" 0
+          v.Openivm.Runner.refresh_count;
+        Alcotest.(check int) "queue empty after the dispatch" 0
+          (Trigger.pending_deferred (Database.triggers db));
+        Util.check_rows db "SELECT * FROM groups" [ "(a, 1)" ];
+        Trigger.unregister (Database.triggers db) ~name:"rollback";
+        Openivm.Runner.refresh v;
+        Util.check_view_consistent db v);
   ]
