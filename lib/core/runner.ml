@@ -181,6 +181,26 @@ let run_step v name stmts =
 
 module Clock = Openivm_obs.Clock
 
+(** Run [f] with the database's executor switched to this set of flags'
+    engine, restoring the previous engine afterwards — a database can host
+    views configured for different engines (the fuzz oracle runs the same
+    workload under both).
+
+    The same scope marks compiler-generated SQL: its bulk INSERT ... SELECT
+    statements into empty keyed tables are GROUP BY outputs (or copies of
+    one, via a stage table) keyed by the group columns, so the PK-duplicate
+    check in {!Table.insert_many} is provably redundant and skipped. *)
+let with_exec_engine db (flags : Flags.t) f =
+  let saved = db.Database.exec_engine in
+  let saved_hint = db.Database.bulk_distinct_hint in
+  db.Database.exec_engine <- flags.Flags.exec_engine;
+  db.Database.bulk_distinct_hint <- true;
+  Fun.protect
+    ~finally:(fun () ->
+      db.Database.exec_engine <- saved;
+      db.Database.bulk_distinct_hint <- saved_hint)
+    f
+
 (** Propagate this view's pending deltas, cascade-aware:
 
     - upstream maintained views refresh first (topological pull), so the
@@ -215,6 +235,7 @@ let rec force_refresh_local v =
        Fun.protect
          ~finally:(fun () -> v.in_refresh <- false)
          (fun () ->
+            with_exec_engine v.db v.compiled.Compiler.flags @@ fun () ->
             consolidate v;
             run_step v "fill" script.Propagate.fill;
             run_step v "combine" script.Propagate.combine;
@@ -279,6 +300,7 @@ let eager_refresh v =
     compiled scripts in place. *)
 let rec reinitialize v =
   let catalog = Database.catalog v.db in
+  with_exec_engine v.db v.compiled.Compiler.flags @@ fun () ->
   Trigger.without_hooks (Database.triggers v.db) (fun () ->
       ignore (Table.truncate (Catalog.find_table catalog (view_name v)));
       List.iter
@@ -395,8 +417,9 @@ let install ?(flags = Flags.default) ?(registry = [])
          | `Immediate ->
            (* initial load must not be captured as a delta *)
            Span.with_span "initial_load" (fun _ ->
-               Trigger.without_hooks (Database.triggers db) (fun () ->
-                   exec_stmts db [ compiled.Compiler.initial_load ]))
+               with_exec_engine db flags (fun () ->
+                   Trigger.without_hooks (Database.triggers db) (fun () ->
+                       exec_stmts db [ compiled.Compiler.initial_load ])))
          | `Deferred | `Attach -> ());
         compiled)
   in
@@ -478,8 +501,9 @@ let backfill_chunk v ~chunk_rows ~index =
        Metrics.incr m_backfill_chunks;
        if not (backfill_chunkable v) then begin
          (* single whole-shot chunk: the ordinary initial load *)
-         Trigger.without_hooks (Database.triggers v.db) (fun () ->
-             exec_stmts v.db [ v.compiled.Compiler.initial_load ]);
+         with_exec_engine v.db v.compiled.Compiler.flags (fun () ->
+             Trigger.without_hooks (Database.triggers v.db) (fun () ->
+                 exec_stmts v.db [ v.compiled.Compiler.initial_load ]));
          0
        end
        else begin

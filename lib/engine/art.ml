@@ -423,8 +423,25 @@ let of_sorted (bindings : (string * 'a) array) : 'a t =
         min (String.length first - depth) (String.length last - depth)
       in
       let c = common_prefix_len first depth last depth limit in
-      let inn = make_inner (String.sub first depth c) in
       let d = depth + c in
+      (* count the distinct partition bytes first so the node can be
+         allocated at its final kind — bulk build would otherwise pay the
+         N4→N16→N48→N256 growth-copy chain on every wide node *)
+      let distinct = ref 0 in
+      let i = ref lo in
+      while !i < hi do
+        let b = Char.code keys.(!i).[d] in
+        incr distinct;
+        incr i;
+        while !i < hi && Char.code keys.(!i).[d] = b do incr i done
+      done;
+      let kind =
+        if !distinct <= 4 then N4
+        else if !distinct <= 16 then N16
+        else if !distinct <= 48 then N48
+        else N256
+      in
+      let inn = make_inner ~kind (String.sub first depth c) in
       (* partition the (sorted) segment by the byte at [d] *)
       let start = ref lo in
       while !start < hi do

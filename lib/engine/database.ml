@@ -25,6 +25,11 @@ type t = {
   (* per-statement artificial latency, used by the HTAP bridge to model a
      remote round trip; 0.0 for an embedded engine *)
   mutable statement_latency : float;
+  mutable exec_engine : Exec.engine;
+  (* set while running compiler-generated propagation SQL: bulk inserts
+     into empty keyed tables are GROUP BY outputs, so their PK-duplicate
+     check can be skipped (see Table.insert_many) *)
+  mutable bulk_distinct_hint : bool;
 }
 
 type query_result = {
@@ -47,6 +52,8 @@ let create ?(name = "minidb") () = {
   };
   optimizer_enabled = true;
   statement_latency = 0.0;
+  exec_engine = !Exec.default_engine;
+  bulk_distinct_hint = false;
 }
 
 let catalog t = t.catalog
@@ -98,7 +105,7 @@ let plan_select t (s : Sql.Ast.select) : Plan.t =
 
 let run_select t (s : Sql.Ast.select) : query_result =
   let plan = plan_select t s in
-  let r = Exec.run t.catalog plan in
+  let r = Vexec.run_with t.exec_engine t.catalog plan in
   let n = List.length r.Exec.rows in
   t.profile.rows_read <- t.profile.rows_read + n;
   Openivm_obs.Metrics.add m_rows_read n;
@@ -189,7 +196,9 @@ let rec exec_stmt t (stmt : Sql.Ast.stmt) : exec_result =
   | Sql.Ast.Insert { table; columns; source; on_conflict } ->
     timed `Dml (fun () ->
         let o =
-          Dml.exec_insert t.catalog t.triggers ~table ~columns ~source ~on_conflict
+          Dml.exec_insert ~engine:t.exec_engine
+            ~distinct_hint:t.bulk_distinct_hint t.catalog t.triggers ~table
+            ~columns ~source ~on_conflict
         in
         t.profile.rows_written <- t.profile.rows_written + o.Dml.affected;
         Openivm_obs.Metrics.add m_rows_written o.Dml.affected;

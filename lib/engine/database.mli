@@ -18,6 +18,13 @@ type t = {
   profile : profile;
   mutable optimizer_enabled : bool;
   mutable statement_latency : float;
+  mutable exec_engine : Exec.engine;
+      (** Which interpreter runs SELECT / INSERT..SELECT plans; initialized
+          from [Exec.default_engine]. *)
+  mutable bulk_distinct_hint : bool;
+      (** Set while running compiler-generated propagation SQL, whose bulk
+          inserts into empty keyed tables are GROUP BY outputs: forwards
+          [distinct_keys] to {!Table.insert_many}. *)
 }
 
 type query_result = {

@@ -221,6 +221,31 @@ let scalar_function name (args : Value.t list) : Value.t =
 
 (* --- compilation --- *)
 
+let neg_value = function
+  | Value.Null -> Value.Null
+  | Value.Int i -> Value.Int (-i)
+  | Value.Float f -> Value.Float (-.f)
+  | v -> Error.fail "cannot negate %s" (Value.type_name v)
+
+(* the per-value primitive behind each binary operator — the vectorized
+   executor's elementwise fallback kernels use these directly, so both
+   engines share one set of value semantics *)
+let binop_fn : Sql.Ast.binop -> Value.t -> Value.t -> Value.t = function
+  | Sql.Ast.Add -> add
+  | Sql.Ast.Sub -> sub
+  | Sql.Ast.Mul -> mul
+  | Sql.Ast.Div -> div
+  | Sql.Ast.Mod -> modulo
+  | Sql.Ast.Concat -> concat
+  | Sql.Ast.Eq -> cmp_op (fun c -> c = 0)
+  | Sql.Ast.Neq -> cmp_op (fun c -> c <> 0)
+  | Sql.Ast.Lt -> cmp_op (fun c -> c < 0)
+  | Sql.Ast.Le -> cmp_op (fun c -> c <= 0)
+  | Sql.Ast.Gt -> cmp_op (fun c -> c > 0)
+  | Sql.Ast.Ge -> cmp_op (fun c -> c >= 0)
+  | Sql.Ast.And -> logical_and
+  | Sql.Ast.Or -> logical_or
+
 let compile ?(subquery : (Sql.Ast.select -> Value.t list) option)
     (schema : Schema.t) (top : Sql.Ast.expr) : compiled =
   let rec go (e : Sql.Ast.expr) : compiled =
@@ -235,34 +260,13 @@ let compile ?(subquery : (Sql.Ast.select -> Value.t list) option)
   | Sql.Ast.Star -> Error.fail "* is only valid in projections"
   | Sql.Ast.Unary (Sql.Ast.Neg, a) ->
     let ca = go a in
-    fun row ->
-      (match ca row with
-       | Value.Null -> Value.Null
-       | Value.Int i -> Value.Int (-i)
-       | Value.Float f -> Value.Float (-.f)
-       | v -> Error.fail "cannot negate %s" (Value.type_name v))
+    fun row -> neg_value (ca row)
   | Sql.Ast.Unary (Sql.Ast.Not, a) ->
     let ca = go a in
     fun row -> logical_not (ca row)
   | Sql.Ast.Binary (op, a, b) ->
     let ca = go a and cb = go b in
-    let f =
-      match op with
-      | Sql.Ast.Add -> add
-      | Sql.Ast.Sub -> sub
-      | Sql.Ast.Mul -> mul
-      | Sql.Ast.Div -> div
-      | Sql.Ast.Mod -> modulo
-      | Sql.Ast.Concat -> concat
-      | Sql.Ast.Eq -> cmp_op (fun c -> c = 0)
-      | Sql.Ast.Neq -> cmp_op (fun c -> c <> 0)
-      | Sql.Ast.Lt -> cmp_op (fun c -> c < 0)
-      | Sql.Ast.Le -> cmp_op (fun c -> c <= 0)
-      | Sql.Ast.Gt -> cmp_op (fun c -> c > 0)
-      | Sql.Ast.Ge -> cmp_op (fun c -> c >= 0)
-      | Sql.Ast.And -> logical_and
-      | Sql.Ast.Or -> logical_or
-    in
+    let f = binop_fn op in
     fun row -> f (ca row) (cb row)
   | Sql.Ast.Func (name, args) ->
     let cargs = List.map go args in

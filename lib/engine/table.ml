@@ -20,20 +20,30 @@ type t = {
   slots : Row.t option Vec.t;
   mutable live : int;
   mutable pk_index : int Art.t option;
+  mutable pk_stale : bool;
+      (** bulk appends skip per-row ART maintenance; when set, [pk_index]
+          lags the slots and must be rebuilt (one sorted bulk pass) before
+          any PK read — see {!ensure_pk} *)
   mutable secondary : index list;
 }
 
 let create ~name ~(schema : Schema.t) ~primary_key =
   let pk_index = if Array.length primary_key = 0 then None else Some (Art.create ()) in
   { name; schema; primary_key;
-    slots = Vec.create ~dummy:None;
-    live = 0; pk_index; secondary = [] }
+    slots = Vec.create ~dummy:None ();
+    live = 0; pk_index; pk_stale = false; secondary = [] }
 
 let arity t = Schema.arity t.schema
 let row_count t = t.live
 
+(* scratch for key encoding: never held across calls, so a single shared
+   buffer is safe and saves an allocation per row on the DML hot path *)
+let key_buf = Buffer.create 64
+
 let key_of_row (positions : int array) (row : Row.t) : string =
-  Value.encode_key (Array.map (fun i -> row.(i)) positions)
+  Buffer.clear key_buf;
+  Array.iter (fun i -> Value.encode_into key_buf row.(i)) positions;
+  Buffer.contents key_buf
 
 let pk_key t row = key_of_row t.primary_key row
 
@@ -65,6 +75,29 @@ let index_remove_row (ix : index) slot row =
     if remaining = [] then ignore (Art.remove ix.art key)
     else Art.insert ix.art key remaining
 
+(* Rebuild a stale PK index in one sorted bulk pass. The bulk-append path
+   duplicate-checks through a hashtable, so the slots hold distinct keys and
+   [Art.of_sorted] accepts them. *)
+let ensure_pk t =
+  if t.pk_stale then begin
+    t.pk_stale <- false;
+    match t.pk_index with
+    | None -> ()
+    | Some _ ->
+      let pairs = ref [] in
+      iter_slots (fun slot row -> pairs := (pk_key t row, slot) :: !pairs) t;
+      let arr = Array.of_list !pairs in
+      Array.sort (fun (a, _) (b, _) -> String.compare a b) arr;
+      (* bulk appends under [~distinct_keys:true] skipped the per-row
+         duplicate check on the caller's promise; verify it here, where
+         adjacency makes the check free *)
+      for i = 1 to Array.length arr - 1 do
+        if String.equal (fst arr.(i - 1)) (fst arr.(i)) then
+          Error.fail "duplicate key in table %S" t.name
+      done;
+      t.pk_index <- Some (Art.of_sorted arr)
+  end
+
 let find_secondary t name =
   List.find_opt (fun ix -> String.equal ix.index_name name) t.secondary
 
@@ -93,6 +126,7 @@ let drop_index t ~index_name =
 let compact t =
   let rows = to_rows t in
   Vec.clear t.slots;
+  t.pk_stale <- false;
   (match t.pk_index with Some _ -> t.pk_index <- Some (Art.create ()) | None -> ());
   List.iter (fun ix -> ix.art <- Art.create ()) t.secondary;
   t.live <- 0;
@@ -120,18 +154,69 @@ let check_arity t (row : Row.t) =
 (** Plain append; raises on PK violation. *)
 let insert t (row : Row.t) : unit =
   check_arity t row;
-  (match t.pk_index with
-   | Some pk ->
-     let key = pk_key t row in
-     if Art.mem pk key then
-       Error.fail "duplicate key in table %S: %s" t.name (Row.to_string row)
-   | None -> ());
+  ensure_pk t;
+  let pk_entry =
+    match t.pk_index with
+    | None -> None
+    | Some pk ->
+      (* encode the key once for both the duplicate check and the insert *)
+      let key = pk_key t row in
+      if Art.mem pk key then
+        Error.fail "duplicate key in table %S: %s" t.name (Row.to_string row);
+      Some (pk, key)
+  in
   let slot = Vec.push t.slots (Some row) in
   t.live <- t.live + 1;
-  (match t.pk_index with
-   | Some pk -> Art.insert pk (pk_key t row) slot
+  (match pk_entry with
+   | Some (pk, key) -> Art.insert pk key slot
    | None -> ());
   List.iter (fun ix -> index_add_row ix slot row) t.secondary
+
+(** Bulk append. Semantically [List.iter (insert t)] — rows preceding a
+    duplicate stay inserted and the duplicate raises — but into an empty
+    keyed table the ART is not maintained per row: keys are duplicate-checked
+    through a hashtable and the index is marked stale, rebuilt in one sorted
+    bulk pass by the next PK reader ({!ensure_pk}). This is the propagation
+    hot path: DELETE-all + INSERT ... SELECT swap cycles re-fill view tables
+    from scratch every refresh, and the per-row index maintenance — not the
+    query — dominated their cost.
+
+    [~distinct_keys:true] is the caller's promise that [rows] carry
+    pairwise-distinct primary keys (e.g. a GROUP BY output whose keys are
+    the PK): the duplicate check — and with it all key encoding — is
+    skipped, and the promise is verified for free by the sorted rebuild
+    in {!ensure_pk} should a PK reader ever appear. *)
+let insert_many ?(distinct_keys = false) t (rows : Row.t list) : unit =
+  match t.pk_index with
+  | Some _ when t.live = 0 && rows <> [] ->
+    ensure_pk t;
+    t.pk_stale <- true;
+    if distinct_keys then
+      List.iter
+        (fun row ->
+           check_arity t row;
+           let slot = Vec.push t.slots (Some row) in
+           t.live <- t.live + 1;
+           List.iter (fun ix -> index_add_row ix slot row) t.secondary)
+        rows
+    else begin
+      let seen = Hashtbl.create 1024 in
+      List.iter
+        (fun row ->
+           check_arity t row;
+           let key = pk_key t row in
+           (* replace + length delta = membership test with a single hash *)
+           let before = Hashtbl.length seen in
+           Hashtbl.replace seen key ();
+           if Hashtbl.length seen = before then
+             Error.fail "duplicate key in table %S: %s" t.name
+               (Row.to_string row);
+           let slot = Vec.push t.slots (Some row) in
+           t.live <- t.live + 1;
+           List.iter (fun ix -> index_add_row ix slot row) t.secondary)
+        rows
+    end
+  | _ -> List.iter (insert t) rows
 
 (** Result of an upsert, so triggers can report the net change. *)
 type upsert_outcome =
@@ -141,6 +226,7 @@ type upsert_outcome =
 (** INSERT OR REPLACE: requires a primary key. *)
 let upsert t (row : Row.t) : upsert_outcome =
   check_arity t row;
+  ensure_pk t;
   match t.pk_index with
   | None -> Error.fail "INSERT OR REPLACE on table %S without a primary key" t.name
   | Some pk ->
@@ -166,6 +252,7 @@ let upsert t (row : Row.t) : upsert_outcome =
     the row was inserted. *)
 let insert_ignore t (row : Row.t) : bool =
   check_arity t row;
+  ensure_pk t;
   match t.pk_index with
   | None -> insert t row; true
   | Some pk ->
@@ -179,8 +266,8 @@ let delete_slot t slot : Row.t option =
     Vec.set t.slots slot None;
     t.live <- t.live - 1;
     (match t.pk_index with
-     | Some pk -> ignore (Art.remove pk (pk_key t row))
-     | None -> ());
+     | Some pk when not t.pk_stale -> ignore (Art.remove pk (pk_key t row))
+     | _ -> ());
     List.iter (fun ix -> index_remove_row ix slot row) t.secondary;
     Some row
 
@@ -215,6 +302,7 @@ let update_where t (predicate : Row.t -> bool) (transform : Row.t -> Row.t) :
 let truncate t : int =
   let n = t.live in
   Vec.clear t.slots;
+  t.pk_stale <- false;
   (match t.pk_index with Some _ -> t.pk_index <- Some (Art.create ()) | None -> ());
   List.iter (fun ix -> ix.art <- Art.create ()) t.secondary;
   t.live <- 0;
@@ -238,11 +326,13 @@ let index_slots t (ix : index) (key : string) : int list =
     List.filter (fun slot -> Vec.get t.slots slot <> None) (List.rev slots)
 
 let pk_slot t (key : string) : int option =
+  ensure_pk t;
   match t.pk_index with
   | None -> None
   | Some pk -> Art.find pk key
 
 let pk_lookup t (key : string) : Row.t option =
+  ensure_pk t;
   match t.pk_index with
   | None -> None
   | Some pk ->

@@ -17,6 +17,9 @@ type t = {
   slots : Row.t option Vec.t;
   mutable live : int;
   mutable pk_index : int Art.t option;
+  mutable pk_stale : bool;
+      (** set by bulk appends ({!insert_many}); [pk_index] lags the slots
+          and is rebuilt in one sorted bulk pass before the next PK read *)
   mutable secondary : index list;
 }
 
@@ -42,6 +45,17 @@ val compact : t -> unit
 
 val insert : t -> Row.t -> unit
 (** Raises {!Error.Sql_error} on arity mismatch or PK violation. *)
+
+val insert_many : ?distinct_keys:bool -> t -> Row.t list -> unit
+(** Bulk append, semantically [List.iter (insert t)] (rows before a
+    duplicate stay inserted; the duplicate raises). Into an empty keyed
+    table the PK index is not maintained per row: duplicates are checked
+    through a hashtable and the index is marked stale, rebuilt lazily in
+    one sorted bulk pass on the next PK read.
+
+    [~distinct_keys:true] (default false) promises that [rows] carry
+    pairwise-distinct primary keys, skipping the duplicate check and its
+    key encoding; the promise is verified by the sorted rebuild. *)
 
 type upsert_outcome =
   | Inserted

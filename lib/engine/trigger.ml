@@ -30,6 +30,16 @@ let register t ?table ~name hook =
 let unregister t ~name =
   t.hooks <- List.filter (fun (_, n, _) -> not (String.equal n name)) t.hooks
 
+(** Would a change on [table] reach any hook right now? DML fast paths
+    (e.g. whole-table DELETE as a truncate) are only legal when nothing is
+    listening, because they skip collecting the per-row change images. *)
+let has_hooks t ~table =
+  t.enabled
+  && List.exists
+       (fun (filter, _, _) ->
+          match filter with None -> true | Some tbl -> String.equal tbl table)
+       t.hooks
+
 (** Postpone [f] until every hook of the current outermost {!fire}
     dispatch has run (cascading IVM defers downstream refreshes this way,
     so a view over both a base table and an upstream view sees all of the

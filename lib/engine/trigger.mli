@@ -20,6 +20,11 @@ val register : t -> ?table:string -> name:string -> hook -> unit
 
 val unregister : t -> name:string -> unit
 
+val has_hooks : t -> table:string -> bool
+(** Whether a change on [table] would reach any hook right now (false
+    when dispatch is disabled). DML fast paths that skip building per-row
+    change images are only legal when this is [false]. *)
+
 val fire : t -> change -> unit
 (** Invoke matching hooks (no-op for empty changes or when disabled).
     When the dispatch is the outermost one, callbacks queued with

@@ -172,11 +172,7 @@ let encode_into buf v =
   | Int i ->
     add_tag '\x03';
     (* flip sign bit so that signed order = lexicographic byte order *)
-    let u = Int64.logxor (Int64.of_int i) Int64.min_int in
-    for shift = 56 downto 0 do
-      Buffer.add_char buf
-        (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical u shift) 0xFFL)))
-    done
+    Buffer.add_int64_be buf (Int64.logxor (Int64.of_int i) Int64.min_int)
   | Float f ->
     add_tag '\x03';
     (* encode floats into the int key space via their integer part when
@@ -187,28 +183,23 @@ let encode_into buf v =
       if Int64.compare bits 0L >= 0 then Int64.logxor bits Int64.min_int
       else Int64.lognot bits
     in
-    for shift = 56 downto 0 do
-      Buffer.add_char buf
-        (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical u shift) 0xFFL)))
-    done
+    Buffer.add_int64_be buf u
   | Str s ->
     add_tag '\x05';
     (* escape 0x00 so concatenated keys cannot collide, terminate with 00 00 *)
-    String.iter
-      (fun c ->
-         if c = '\x00' then begin
-           Buffer.add_char buf '\x00'; Buffer.add_char buf '\xff'
-         end else Buffer.add_char buf c)
-      s;
+    if String.index_opt s '\x00' = None then Buffer.add_string buf s
+    else
+      String.iter
+        (fun c ->
+           if c = '\x00' then begin
+             Buffer.add_char buf '\x00'; Buffer.add_char buf '\xff'
+           end else Buffer.add_char buf c)
+        s;
     Buffer.add_char buf '\x00';
     Buffer.add_char buf '\x00'
   | Date d ->
     add_tag '\x06';
-    let u = Int64.logxor (Int64.of_int d) Int64.min_int in
-    for shift = 56 downto 0 do
-      Buffer.add_char buf
-        (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical u shift) 0xFFL)))
-    done
+    Buffer.add_int64_be buf (Int64.logxor (Int64.of_int d) Int64.min_int)
 
 let encode_key (vs : t array) : string =
   let buf = Buffer.create 16 in

@@ -43,3 +43,7 @@ val as_bool : t -> bool
 val encode_key : t array -> string
 (** Injective, order-preserving byte encoding of a value tuple, used as
     ART index keys. *)
+
+val encode_into : Buffer.t -> t -> unit
+(** Append one value's order-preserving encoding to a caller-owned buffer
+    ({!encode_key} minus the per-call allocation, for hot key loops). *)

@@ -1,0 +1,27 @@
+(** Vectorized (columnar, batch-at-a-time) plan execution — the default
+    engine. Produces exactly the rows [Exec.run] would, in the same order;
+    the row interpreter stays on as the differential oracle (see
+    [Exec.engine]). Operators that would not profit from vectorization run
+    the row engine's own code over materialized inputs, so the two engines
+    cannot drift on those paths. *)
+
+val run : Catalog.t -> Plan.t -> Exec.result
+(** Execute a plan with the vectorized engine. *)
+
+val run_with : Exec.engine -> Catalog.t -> Plan.t -> Exec.result
+(** Dispatch to [Exec.run] (Row) or {!run} (Vector). *)
+
+type payload =
+  | Batches of Vec.Batch.t list
+  | Rows of Row.t list
+
+type vres = {
+  schema : Schema.t;
+  data : payload;
+}
+
+val run_payload : Exec.engine -> Catalog.t -> Plan.t -> vres
+(** Like {!run_with}, but hands back the columnar batches when the
+    vectorized engine produced some, instead of boxing them into rows.
+    [INSERT ... SELECT] uses this to type-check whole columns against the
+    target schema and box each value exactly once. *)

@@ -74,15 +74,21 @@ let metrics_table () =
            | Metrics.Counter_v n -> string_of_int n
            | Metrics.Gauge_v f -> Printf.sprintf "%g" f
            | Metrics.Histogram_v h ->
+             (* only histograms named *_seconds hold durations; others
+                (e.g. rows per batch) print as plain numbers *)
+             let fmt x =
+               if Filename.check_suffix name "_seconds" then pp_duration x
+               else Printf.sprintf "%g" x
+             in
              Printf.sprintf "count=%d sum=%s p50=%s p90=%s max=%s" h.count
-               (pp_duration h.sum)
-               (pp_duration
+               (fmt h.sum)
+               (fmt
                   (Metrics.percentile
                      (Metrics.histogram ~labels name) 0.5))
-               (pp_duration
+               (fmt
                   (Metrics.percentile
                      (Metrics.histogram ~labels name) 0.9))
-               (pp_duration h.vmax)
+               (fmt h.vmax)
          in
          (key, value))
       snap

@@ -2,19 +2,19 @@ open Openivm_engine
 
 let suite =
   [ Util.tc "push returns consecutive slots" (fun () ->
-        let v = Vec.create ~dummy:0 in
+        let v = Vec.create ~dummy:0 () in
         Alcotest.(check int) "slot0" 0 (Vec.push v 10);
         Alcotest.(check int) "slot1" 1 (Vec.push v 20);
         Alcotest.(check int) "len" 2 (Vec.length v));
     Util.tc "get/set roundtrip" (fun () ->
-        let v = Vec.create ~dummy:0 in
+        let v = Vec.create ~dummy:0 () in
         ignore (Vec.push v 1);
         ignore (Vec.push v 2);
         Vec.set v 0 99;
         Alcotest.(check int) "set" 99 (Vec.get v 0);
         Alcotest.(check int) "untouched" 2 (Vec.get v 1));
     Util.tc "bounds are checked" (fun () ->
-        let v = Vec.create ~dummy:0 in
+        let v = Vec.create ~dummy:0 () in
         ignore (Vec.push v 1);
         (match Vec.get v 1 with
          | exception Invalid_argument _ -> ()
@@ -23,7 +23,7 @@ let suite =
         | exception Invalid_argument _ -> ()
         | _ -> Alcotest.fail "set out of bounds");
     Util.tc "growth preserves contents" (fun () ->
-        let v = Vec.create ~dummy:(-1) in
+        let v = Vec.create ~dummy:(-1) () in
         for i = 0 to 999 do
           ignore (Vec.push v i)
         done;
@@ -32,7 +32,7 @@ let suite =
         Vec.iteri (fun i x -> if i <> x then ok := false) v;
         Alcotest.(check bool) "contents" true !ok);
     Util.tc "clear resets and allows reuse" (fun () ->
-        let v = Vec.create ~dummy:0 in
+        let v = Vec.create ~dummy:0 () in
         ignore (Vec.push v 1);
         Vec.clear v;
         Alcotest.(check int) "empty" 0 (Vec.length v);
