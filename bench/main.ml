@@ -837,6 +837,104 @@ let recovery_results () : refresh_result list =
         mk "wal_replay" replay_times replay_converged;
         mk "checkpoint_load" checkpoint_times checkpoint_converged ])
 
+(* --- the multi-session churn benchmark: serving-layer scaling ---
+
+   What does consolidating N sessions' deltas into shared ticks buy?
+   A fixed budget of DML units is pushed through the serving layer's
+   single-writer scheduler by 1, 4 and 16 concurrent session threads;
+   the measured wall clock covers submission through drain (every view
+   refreshed). One session replays the units back-to-back — each await
+   runs its own tick — while 16 sessions pile units into shared ticks
+   and the propagation folds them consolidated. Divergence-gated like
+   every other row: after each rep, every view must agree with a full
+   recompute pinned to the row engine. *)
+
+let multi_session_results () : refresh_result list =
+  let module Scheduler = Openivm_server.Scheduler in
+  let module Session = Openivm_server.Session in
+  let base, _ = refresh_sizes () in
+  let reps = max 1 !refresh_reps in
+  let domain = max 100 (base / 20) in
+  let total_units = 160 in
+  let unit_sql u =
+    Printf.sprintf "INSERT INTO groups VALUES ('%s', %d), ('%s', %d)"
+      (Datagen.group_key (u mod domain))
+      (u * 31 mod 1_000)
+      (Datagen.group_key (u * 7 mod domain))
+      (u * 17 mod 1_000)
+  in
+  let view_sql =
+    "CREATE MATERIALIZED VIEW bench_v AS SELECT group_index, \
+     SUM(group_value) AS total_value, COUNT(*) AS n FROM groups GROUP BY \
+     group_index"
+  in
+  let run n_sessions =
+    let db = Database.create () in
+    ignore (Database.exec db Datagen.groups_ddl);
+    Datagen.populate_groups ~domain db (Datagen.create ~seed:42 ()) ~rows:base;
+    let flags =
+      { Openivm.Flags.default with Openivm.Flags.refresh = Openivm.Flags.Lazy }
+    in
+    let ext = Openivm.Runner.load ~flags db in
+    let sched = Scheduler.create ext in
+    let setup = Session.create sched ~tenant:"bench" in
+    (match Session.exec setup view_sql with
+     | Session.Msg _ -> ()
+     | _ -> failwith "multi_session_churn: view install failed");
+    Session.close setup;
+    let ok = ref true in
+    let per = total_units / n_sessions in
+    let t =
+      Timer.time_unit (fun () ->
+          let threads =
+            List.init n_sessions (fun s ->
+                Thread.create
+                  (fun s ->
+                     let sess =
+                       Session.create sched
+                         ~tenant:(Printf.sprintf "bench-%d" s)
+                     in
+                     for k = 0 to per - 1 do
+                       match Session.exec sess (unit_sql ((s * per) + k)) with
+                       | Session.Affected _ -> ()
+                       | _ -> ok := false
+                     done;
+                     Session.close sess)
+                  s)
+          in
+          List.iter Thread.join threads;
+          Scheduler.drain sched)
+    in
+    let converged =
+      !ok
+      && List.for_all
+           (fun v ->
+              let got = Openivm.Runner.visible_rows v in
+              let expected =
+                let saved = db.Database.exec_engine in
+                db.Database.exec_engine <- Exec.Row;
+                Fun.protect
+                  ~finally:(fun () -> db.Database.exec_engine <- saved)
+                  (fun () -> Openivm.Runner.recompute_rows v)
+              in
+              got = expected)
+           ext.Openivm.Runner.ext_views
+    in
+    (t, converged)
+  in
+  List.map
+    (fun n ->
+       let runs = List.init reps (fun _ -> run n) in
+       let times = List.map fst runs in
+       { r_shape = "multi_session_churn";
+         r_strategy = Printf.sprintf "sessions_%d" n;
+         r_engine = Exec.engine_to_string !Exec.default_engine;
+         r_median = median times;
+         r_min = List.fold_left min infinity times;
+         r_max = List.fold_left max neg_infinity times;
+         r_converged = List.for_all snd runs })
+    [ 1; 4; 16 ]
+
 let refresh_bench () =
   let base, delta = refresh_sizes () in
   let reps = max 1 !refresh_reps in
@@ -942,7 +1040,17 @@ let refresh_bench () =
        if not r.r_converged then
          diverged := (r.r_shape, r.r_strategy, r.r_engine) :: !diverged)
     recovery;
-  let results = List.rev !results @ recovery in
+  (* the serving-layer scaling rows ride along too: shape
+     "multi_session_churn", one strategy slot per session count *)
+  let multi = multi_session_results () in
+  List.iter
+    (fun r ->
+       Printf.printf "multi_session/%-12s %s\n" r.r_strategy
+         (Timer.pp_duration r.r_median);
+       if not r.r_converged then
+         diverged := (r.r_shape, r.r_strategy, r.r_engine) :: !diverged)
+    multi;
+  let results = List.rev !results @ recovery @ multi in
   let oc = open_out !refresh_out in
   output_string oc (refresh_json results);
   close_out oc;

@@ -4,7 +4,12 @@
     feeds the installed views.
 
     Dot commands: .tables, .views, .plan <sql>, .scripts <view>,
-    .refresh <view>, .help, .quit. *)
+    .refresh <view>, .help, .quit.
+
+    With [--connect HOST:PORT] (or [--connect /path/to.sock]) the shell
+    runs as a line-protocol client of [openivm serve] instead: the same
+    read-eval-print loop, but statements travel over the wire and views
+    are maintained by the server's tick scheduler. *)
 
 open Openivm_engine
 
@@ -80,10 +85,9 @@ let execute ext sql =
   | `Result (Database.Affected n) -> Printf.printf "%d row(s) affected\n" n
   | `Result (Database.Ok_msg msg) -> print_endline msg
 
-let () =
-  let db = Database.create () in
-  let ext = Openivm.Runner.load db in
-  print_endline "Minidb shell with the OpenIVM extension. Type .help for help.";
+(** Shared REPL skeleton: prompt, buffer statements up to ';', hand dot
+    commands and complete statements to the callbacks. *)
+let repl ~on_dot ~on_sql =
   let buf = Buffer.create 256 in
   let interactive = Unix.isatty Unix.stdin in
   try
@@ -96,7 +100,7 @@ let () =
       let line = input_line stdin in
       let trimmed = String.trim line in
       if Buffer.length buf = 0 && String.length trimmed > 0 && trimmed.[0] = '.'
-      then handle_dot ext line
+      then on_dot line
       else begin
         Buffer.add_string buf line;
         Buffer.add_char buf '\n';
@@ -105,15 +109,134 @@ let () =
         then begin
           let sql = Buffer.contents buf in
           Buffer.clear buf;
-          try execute ext sql with
-          | Error.Sql_error msg -> Printf.printf "error: %s\n" msg
-          | Openivm_sql.Parser.Error (msg, pos) ->
-            Printf.printf "parse error at byte %d: %s\n" pos msg
-          | Openivm_sql.Lexer.Error (msg, pos) ->
-            Printf.printf "lex error at byte %d: %s\n" pos msg
-          | Openivm.Compiler.Unsupported_view reason ->
-            Printf.printf "unsupported view: %s\n" reason
+          on_sql sql
         end
       end
     done
   with End_of_file -> ()
+
+let run_local () =
+  let db = Database.create () in
+  let ext = Openivm.Runner.load db in
+  print_endline "Minidb shell with the OpenIVM extension. Type .help for help.";
+  repl
+    ~on_dot:(fun line -> handle_dot ext line)
+    ~on_sql:(fun sql ->
+      try execute ext sql with
+      | Error.Sql_error msg -> Printf.printf "error: %s\n" msg
+      | Openivm_sql.Parser.Error (msg, pos) ->
+        Printf.printf "parse error at byte %d: %s\n" pos msg
+      | Openivm_sql.Lexer.Error (msg, pos) ->
+        Printf.printf "lex error at byte %d: %s\n" pos msg
+      | Openivm.Compiler.Unsupported_view reason ->
+        Printf.printf "unsupported view: %s\n" reason)
+
+(* --- client mode: speak the line protocol to `openivm serve` --- *)
+
+module Wire = Openivm_server.Wire
+
+let resolve_target target =
+  if String.contains target '/' then Unix.ADDR_UNIX target
+  else
+    match String.rindex_opt target ':' with
+    | None ->
+      Printf.eprintf
+        "minidb_shell: --connect wants HOST:PORT or a socket path, got %S\n"
+        target;
+      exit 2
+    | Some i ->
+      let host = String.sub target 0 i in
+      let port =
+        match
+          int_of_string_opt (String.sub target (i + 1) (String.length target - i - 1))
+        with
+        | Some p -> p
+        | None ->
+          Printf.eprintf "minidb_shell: bad port in %S\n" target;
+          exit 2
+      in
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found ->
+            Printf.eprintf "minidb_shell: cannot resolve %S\n" host;
+            exit 2)
+      in
+      Unix.ADDR_INET (ip, port)
+
+(** One statement per SQL frame: the trailing ';' stays local. *)
+let strip_semicolon sql =
+  let t = String.trim sql in
+  if String.length t > 0 && t.[String.length t - 1] = ';' then
+    String.sub t 0 (String.length t - 1)
+  else t
+
+let run_client target tenant =
+  let addr = resolve_target target in
+  let domain = Unix.domain_of_sockaddr addr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with Unix.Unix_error (e, _, _) ->
+     Printf.eprintf "minidb_shell: cannot connect to %s: %s\n" target
+       (Unix.error_message e);
+     exit 1);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let send req =
+    output_string oc (Wire.render_request req);
+    output_char oc '\n';
+    flush oc
+  in
+  let next_line () = try Some (input_line ic) with End_of_file -> None in
+  let print_response = function
+    | Ok (Wire.Session id) -> Printf.printf "connected: session %d\n" id
+    | Ok (Wire.Ok_affected n) -> Printf.printf "%d row(s) affected\n" n
+    | Ok (Wire.Queued n) -> Printf.printf "queued in transaction (%d buffered)\n" n
+    | Ok (Wire.Msg m) -> print_endline m
+    | Ok (Wire.Rows { cols; rows }) ->
+      if cols <> [] then print_endline (String.concat " | " cols);
+      List.iter print_endline rows;
+      Printf.printf "(%d row(s))\n" (List.length rows)
+    | Ok (Wire.Err { code; message }) ->
+      Printf.printf "error [%s]: %s\n" code message
+    | Ok (Wire.Overloaded reason) -> Printf.printf "overloaded: %s\n" reason
+    | Ok Wire.Pong -> print_endline "pong"
+    | Ok Wire.Bye ->
+      print_endline "bye";
+      exit 0
+    | Error msg ->
+      Printf.printf "protocol error: %s\n" msg;
+      exit 1
+  in
+  let roundtrip req =
+    send req;
+    print_response (Wire.parse_response ~next_line)
+  in
+  Printf.printf "Minidb shell connected to %s (tenant %s).\n" target tenant;
+  roundtrip (Wire.Hello tenant);
+  repl
+    ~on_dot:(fun line ->
+      match String.trim line with
+      | ".quit" | ".exit" -> roundtrip Wire.Quit
+      | ".ping" -> roundtrip Wire.Ping
+      | ".help" ->
+        print_string
+          "Statements end with ';' and run on the server (BEGIN; / COMMIT; \
+           / ROLLBACK; for transactions).\n\
+           .ping               check the connection\n\
+           .quit               close the session and exit\n"
+      | _ -> print_endline "unknown command in client mode; try .help")
+    ~on_sql:(fun sql -> roundtrip (Wire.Sql (strip_semicolon sql)))
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--connect" :: target :: rest ->
+    let tenant = match rest with "--tenant" :: t :: _ -> t | _ -> "shell" in
+    run_client target tenant
+  | _ :: arg :: _ when arg = "--help" || arg = "-h" ->
+    print_string
+      "usage: minidb_shell [--connect HOST:PORT|SOCKET_PATH [--tenant NAME]]\n\
+       Without --connect: a local Minidb REPL with the OpenIVM extension.\n\
+       With --connect: a line-protocol client of `openivm serve`.\n"
+  | _ -> run_local ()

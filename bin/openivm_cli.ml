@@ -762,9 +762,192 @@ let recover_cmd =
       $ data_dir_arg $ recover_verify_arg $ recover_checkpoint_arg
       $ trace_arg)
 
+(* --- the serve subcommand: the concurrent session front-end --- *)
+
+let serve_action port socket host schema_file init_file strategy eager
+    tick_interval batch_cap max_queue max_inflight =
+  let ( let* ) = Result.bind in
+  let module Srv = Openivm_server in
+  let* strategy = strategy_of_string strategy in
+  let flags =
+    { Openivm.Flags.default with
+      strategy;
+      refresh = (if eager then Openivm.Flags.Eager else Openivm.Flags.Lazy) }
+  in
+  let db = Database.create () in
+  let ext = Openivm.Runner.load ~flags db in
+  let* () =
+    match schema_file with
+    | None -> Ok ()
+    | Some path ->
+      (try
+         ignore (Database.exec_script db (read_file path));
+         Ok ()
+       with
+       | Sys_error msg -> Error msg
+       | Error.Sql_error msg -> Error ("schema error: " ^ msg)
+       | Openivm_sql.Parser.Error (msg, pos) | Openivm_sql.Lexer.Error (msg, pos)
+         -> Error (Printf.sprintf "schema parse error at byte %d: %s" pos msg))
+  in
+  let quota =
+    { Srv.Quota.max_queue_depth = max_queue;
+      max_inflight_per_tenant = max_inflight;
+      max_batch_per_tick = batch_cap;
+      tick_interval }
+  in
+  let listen =
+    match socket with
+    | Some path -> `Unix path
+    | None -> `Tcp (host, port)
+  in
+  let* srv =
+    try Ok (Srv.Server.start ~quota ~listen ext)
+    with Error.Sql_error msg -> Error msg
+  in
+  let* () =
+    (* the init script runs through a bootstrap session so CREATE
+       MATERIALIZED VIEW goes through the scheduler's install path *)
+    match init_file with
+    | None -> Ok ()
+    | Some path ->
+      (try
+         let stmts = Openivm_sql.Parser.parse_script (read_file path) in
+         let s = Srv.Session.create (Srv.Server.scheduler srv) ~tenant:"init" in
+         Fun.protect ~finally:(fun () -> Srv.Session.close s)
+           (fun () ->
+              List.fold_left
+                (fun acc stmt ->
+                   let* () = acc in
+                   let sql =
+                     Openivm_sql.Pretty.stmt_to_sql Openivm_sql.Dialect.minidb
+                       stmt
+                   in
+                   match Srv.Session.exec s sql with
+                   | Srv.Session.Failed { code; message } ->
+                     Error (Printf.sprintf "init script: [%s] %s" code message)
+                   | Srv.Session.Overloaded reason ->
+                     Error ("init script overloaded: " ^ reason)
+                   | _ -> Ok ())
+                (Ok ()) stmts)
+       with
+       | Sys_error msg ->
+         Srv.Server.stop srv;
+         Error msg
+       | Openivm_sql.Parser.Error (msg, pos) | Openivm_sql.Lexer.Error (msg, pos)
+         ->
+         Srv.Server.stop srv;
+         Error (Printf.sprintf "init script parse error at byte %d: %s" pos msg))
+  in
+  Printf.printf "openivm: serving on %s (strategy %s, tick every %gs)\n%!"
+    (Srv.Server.addr_text srv)
+    (Openivm.Flags.strategy_to_string strategy)
+    tick_interval;
+  (match socket with
+   | None ->
+     Printf.printf "openivm: scrape http://%s/metrics for live counters\n%!"
+       (Srv.Server.addr_text srv)
+   | Some _ -> ());
+  (* Poll a flag instead of blocking in Server.wait: a main thread
+     parked in a condition wait may never get to run the OCaml signal
+     handler, while Thread.delay returns to OCaml code regularly. *)
+  let stop_requested = ref false in
+  let request_stop _ = stop_requested := true in
+  (try
+     Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+     Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop)
+   with Invalid_argument _ -> ());
+  while not !stop_requested do
+    Thread.delay 0.1
+  done;
+  Srv.Server.stop srv;
+  print_endline "openivm: server stopped";
+  Ok ()
+
+let serve_port_arg =
+  Arg.(value & opt int 7654 & info [ "port" ] ~docv:"PORT"
+         ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+
+let serve_socket_arg =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Listen on a unix-domain socket instead of TCP.")
+
+let serve_host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+         ~doc:"Address to bind the TCP listener to.")
+
+let serve_init_arg =
+  Arg.(value & opt (some file) None & info [ "init-file" ] ~docv:"FILE"
+         ~doc:"SQL script executed through a bootstrap session before \
+               serving — the place for CREATE MATERIALIZED VIEW statements.")
+
+let serve_tick_arg =
+  Arg.(value & opt float 0.05 & info [ "tick-interval" ] ~docv:"SECONDS"
+         ~doc:"Seconds between refresh ticks (0 = tick on demand when a \
+               writer waits).")
+
+let serve_batch_arg =
+  Arg.(value & opt int 256 & info [ "batch-cap" ] ~docv:"N"
+         ~doc:"Max units (statements or transactions) one tick applies.")
+
+let serve_queue_arg =
+  Arg.(value & opt int 1024 & info [ "max-queue" ] ~docv:"N"
+         ~doc:"Pending-unit queue depth before submissions get OVERLOADED.")
+
+let serve_inflight_arg =
+  Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N"
+         ~doc:"Per-tenant in-flight statement cap.")
+
+let serve_cmd =
+  let doc = "serve concurrent sessions over the line protocol" in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Starts the in-process serving layer: a single-writer scheduler \
+          admits concurrent DML into a pending queue and applies it in \
+          refresh ticks, consolidating all sessions' deltas into one Z-set \
+          per tick before a single propagation. Clients speak a \
+          line protocol (HELLO tenant / SQL text / BEGIN / COMMIT / \
+          ROLLBACK / PING / QUIT) — $(b,minidb_shell --connect HOST:PORT) \
+          is a ready-made client — and an HTTP GET on the same port \
+          serves /metrics in Prometheus text format.";
+      `P "Transactions are all-or-nothing: a failed COMMIT restores the \
+          touched tables and delta captures from a snapshot taken when \
+          the unit started, so one session's rollback never disturbs \
+          another session's queued deltas." ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const (fun a b c d e f g h i j k -> to_exit (serve_action a b c d e f g h i j k))
+      $ serve_port_arg $ serve_socket_arg $ serve_host_arg $ schema_file_arg
+      $ serve_init_arg $ strategy_arg $ eager_arg $ serve_tick_arg
+      $ serve_batch_arg $ serve_queue_arg $ serve_inflight_arg)
+
+let subcommand_names =
+  [ "compile"; "check"; "stats"; "fuzz"; "htap"; "recover"; "serve" ]
+
 let main_cmd =
   let doc = "OpenIVM: a SQL-to-SQL compiler for incremental computations" in
   Cmd.group (Cmd.info "openivm" ~version:"1.0.0" ~doc)
-    [ compile_cmd; check_cmd; stats_cmd; fuzz_cmd; htap_cmd; recover_cmd ]
+    [ compile_cmd; check_cmd; stats_cmd; fuzz_cmd; htap_cmd; recover_cmd;
+      serve_cmd ]
 
-let () = exit (Cmd.eval' main_cmd)
+(* Unknown subcommands get the same did-you-mean treatment as unknown
+   columns in the semantic checker (SEM001): suggest the closest name
+   within edit distance 2, then list everything. *)
+let () =
+  (match Array.to_list Sys.argv with
+   | _ :: cmd :: _
+     when (not (String.starts_with ~prefix:"-" cmd))
+          && not (List.mem cmd ("help" :: subcommand_names)) ->
+     let suggestion =
+       match Openivm_sql.Diagnostic.suggest cmd subcommand_names with
+       | Some s -> Printf.sprintf " — did you mean %S?" s
+       | None -> ""
+     in
+     Printf.eprintf
+       "openivm: unknown subcommand %S%s\nopenivm: subcommands are: %s\n" cmd
+       suggestion
+       (String.concat ", " subcommand_names);
+     exit Cmd.Exit.cli_error
+   | _ -> ());
+  exit (Cmd.eval' main_cmd)

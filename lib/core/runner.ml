@@ -585,6 +585,25 @@ let load ?(flags = Flags.default) (db : Database.t) : extension =
 let find_view ext name =
   List.find_opt (fun v -> String.equal (view_name v) name) ext.ext_views
 
+(** Tick-batched refresh: fold every maintained view's pending deltas in
+    one pass, upstreams before downstreams so each propagation runs at
+    most once per tick — the serving layer's refresh entry point. *)
+let refresh_tick ?(only = fun _ -> true) (ext : extension) : int =
+  let views =
+    List.stable_sort
+      (fun a b -> compare (dag_level a) (dag_level b))
+      ext.ext_views
+  in
+  List.fold_left
+    (fun ran v ->
+       if only v then begin
+         let before = v.refresh_count in
+         refresh v;
+         if v.refresh_count > before then ran + 1 else ran
+       end
+       else ran)
+    0 views
+
 (** Refresh every lazily-maintained view a query touches — the engine-side
     counterpart of the paper's "implicitly calling a table function,
     adding a dummy node to the plan of the original query". *)

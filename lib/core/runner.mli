@@ -117,6 +117,13 @@ val load : ?flags:Flags.t -> Database.t -> extension
 
 val find_view : extension -> string -> view option
 
+val refresh_tick : ?only:(view -> bool) -> extension -> int
+(** Refresh the extension's maintained views (those satisfying [only],
+    default all) at most once each, upstreams before downstreams. The
+    serving layer's tick entry point: all deltas captured since the last
+    tick fold in one consolidated propagation per view. Returns how many
+    views actually propagated. *)
+
 val exec_ext :
   extension -> string ->
   [ `Result of Database.exec_result | `Installed of view ]

@@ -27,4 +27,7 @@ val capture : Database.t -> tables:string list -> mem
 val restore : Database.t -> mem -> unit
 (** Truncate each captured table and reinsert its memoized rows (hooks
     disabled). Deferred trigger callbacks queued by the failed statement
-    are discarded first — rollback leaves no ghost refreshes behind. *)
+    are discarded first — rollback leaves no ghost refreshes behind.
+    Primary-key and ART secondary indexes are rebuilt along the way
+    (truncate resets them, each reinsert re-indexes), so point lookups
+    answer correctly immediately after a mid-batch rollback. *)

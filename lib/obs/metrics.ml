@@ -67,6 +67,8 @@ let set_gauge g v =
   g.fsum <- v;
   g.touched <- true
 
+let set_gauge_int g v = set_gauge g (float_of_int v)
+
 let gauge_value g = g.fsum
 
 let histogram ?help ?labels name = get_or_create ?help ?labels Histogram name

@@ -184,6 +184,8 @@ let prom_labels = function
 let prom_labels_extra labels extra =
   prom_labels (labels @ [ extra ])
 
+let prometheus_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
 let prometheus () =
   let buf = Buffer.create 512 in
   let last_name = ref "" in

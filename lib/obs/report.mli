@@ -26,6 +26,10 @@ val jsonl : unit -> string
 val prometheus : unit -> string
 (** Prometheus text format of the metrics registry. *)
 
+val prometheus_content_type : string
+(** The Content-Type an HTTP scrape endpoint must declare for
+    {!prometheus} output (text exposition format 0.0.4). *)
+
 val render : [ `Text | `Json | `Prometheus ] -> string
 (** [`Text] = span tree + metrics table; [`Json] = {!jsonl};
     [`Prometheus] = {!prometheus}. *)

@@ -1,0 +1,54 @@
+(** Admission control: global queue-depth backpressure plus per-tenant
+    in-flight caps. Externally synchronized (the scheduler's lock). *)
+
+type config = {
+  max_queue_depth : int;
+  max_inflight_per_tenant : int;
+  max_batch_per_tick : int;
+  tick_interval : float;
+}
+
+let default_config =
+  { max_queue_depth = 1024;
+    max_inflight_per_tenant = 64;
+    max_batch_per_tick = 256;
+    tick_interval = 0.0 }
+
+type decision =
+  | Admitted
+  | Overloaded of string
+
+type t = {
+  config : config;
+  inflight : (string, int) Hashtbl.t;  (** tenant -> queued-or-applying *)
+}
+
+let create config = { config; inflight = Hashtbl.create 16 }
+
+let config t = t.config
+
+let inflight t ~tenant =
+  Option.value ~default:0 (Hashtbl.find_opt t.inflight tenant)
+
+let admit t ~tenant ~queue_depth =
+  if queue_depth >= t.config.max_queue_depth then
+    Overloaded
+      (Printf.sprintf "queue depth %d at its limit %d" queue_depth
+         t.config.max_queue_depth)
+  else begin
+    let n = inflight t ~tenant in
+    if n >= t.config.max_inflight_per_tenant then
+      Overloaded
+        (Printf.sprintf "tenant %s has %d statement(s) in flight (limit %d)"
+           tenant n t.config.max_inflight_per_tenant)
+    else begin
+      Hashtbl.replace t.inflight tenant (n + 1);
+      Admitted
+    end
+  end
+
+let release t ~tenant =
+  match Hashtbl.find_opt t.inflight tenant with
+  | Some n when n > 1 -> Hashtbl.replace t.inflight tenant (n - 1)
+  | Some _ -> Hashtbl.remove t.inflight tenant
+  | None -> ()

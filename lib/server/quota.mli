@@ -1,0 +1,46 @@
+(** Admission control for the serving layer.
+
+    Two knobs bound the damage any client population can do to the
+    single-writer scheduler: a global cap on the pending-unit queue
+    (backpressure against aggregate overload) and a per-tenant cap on
+    in-flight units (isolation against one noisy tenant starving the
+    rest). A rejected submission gets a typed {!decision} — the wire
+    layer turns it into an [OVERLOADED] reply — instead of queueing
+    without bound.
+
+    Not internally synchronized: every call must run under the owning
+    scheduler's lock. *)
+
+type config = {
+  max_queue_depth : int;
+      (** pending units across all tenants before new submissions bounce *)
+  max_inflight_per_tenant : int;
+      (** units a single tenant may have queued-or-applying at once *)
+  max_batch_per_tick : int;
+      (** units one refresh tick drains from the queue *)
+  tick_interval : float;
+      (** seconds between automatic ticks (0 = no background ticker;
+          ticks run when a submitter awaits or a reader arrives) *)
+}
+
+val default_config : config
+(** 1024-deep queue, 64 in-flight per tenant, 256 units per tick,
+    no background ticker. *)
+
+type decision =
+  | Admitted
+  | Overloaded of string  (** human-readable reason, wire-safe *)
+
+type t
+
+val create : config -> t
+
+val config : t -> config
+
+val admit : t -> tenant:string -> queue_depth:int -> decision
+(** Check both caps and, when admitted, count the unit against the
+    tenant. The caller must {!release} exactly once per admitted unit. *)
+
+val release : t -> tenant:string -> unit
+
+val inflight : t -> tenant:string -> int

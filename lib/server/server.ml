@@ -1,0 +1,272 @@
+module Report = Openivm_obs.Report
+
+type listen = [ `Tcp of string * int | `Unix of string ]
+
+type t = {
+  sched : Scheduler.t;
+  listen_fd : Unix.file_descr;
+  listen_spec : listen;
+  wake_addr : Unix.sockaddr;
+      (** a connectable alias of the listen address: closing a socket
+          does not unblock a thread sitting in [accept] on Linux, so
+          [stop] wakes the accept loop by connecting to it *)
+  text : string;
+  bound_port : int;
+  tick_interval : float;
+  lock : Mutex.t;
+  stop_cond : Condition.t;
+  mutable stopped : bool;
+  mutable conns : Unix.file_descr list;
+  mutable threads : Thread.t list;
+}
+
+let scheduler t = t.sched
+let port t = t.bound_port
+let addr_text t = t.text
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ------------------------------------------------------------------ *)
+(* HTTP: the /metrics side door                                        *)
+
+let handle_http ic oc first_line =
+  (* swallow the request headers; we never need them *)
+  (try
+     while String.trim (input_line ic) <> "" do
+       ()
+     done
+   with End_of_file | Sys_error _ -> ());
+  let path =
+    match String.split_on_char ' ' first_line with
+    | _meth :: path :: _ -> path
+    | _ -> "/"
+  in
+  let status, ctype, body =
+    if path = "/metrics" then
+      ("200 OK", Report.prometheus_content_type, Report.prometheus ())
+    else ("404 Not Found", "text/plain", "not found; try /metrics\n")
+  in
+  Printf.fprintf oc
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status ctype (String.length body) body;
+  flush oc
+
+(* ------------------------------------------------------------------ *)
+(* The line protocol                                                   *)
+
+let send oc resp =
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    (Wire.render_response resp);
+  flush oc
+
+let handle_wire t ic oc first_line =
+  let session = ref None in
+  let quit = ref false in
+  let handle line =
+    match Wire.parse_request line with
+    | Error msg -> send oc (Wire.Err { code = "PROTO"; message = msg })
+    | Ok Wire.Ping -> send oc Wire.Pong
+    | Ok Wire.Quit ->
+        send oc Wire.Bye;
+        quit := true
+    | Ok (Wire.Hello tenant) -> (
+        match !session with
+        | Some _ ->
+            send oc
+              (Wire.Err { code = "PROTO"; message = "session already open" })
+        | None ->
+            let s = Session.create t.sched ~tenant in
+            session := Some s;
+            send oc (Wire.Session (Session.id s)))
+    | Ok ((Wire.Sql _ | Wire.Begin | Wire.Commit | Wire.Rollback) as req) -> (
+        match !session with
+        | None ->
+            send oc
+              (Wire.Err
+                 { code = "NOSESSION"; message = "say HELLO <tenant> first" })
+        | Some s ->
+            let sql =
+              match req with
+              | Wire.Sql text -> text
+              | Wire.Begin -> "BEGIN"
+              | Wire.Commit -> "COMMIT"
+              | Wire.Rollback -> "ROLLBACK"
+              | _ -> assert false
+            in
+            send oc (Wire.response_of_reply (Session.exec s sql)))
+  in
+  (try
+     handle first_line;
+     while not !quit do
+       handle (input_line ic)
+     done
+   with End_of_file | Sys_error _ -> ());
+  match !session with Some s -> Session.close s | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Connection plumbing                                                 *)
+
+let forget_conn t fd =
+  with_lock t (fun () -> t.conns <- List.filter (fun c -> c != fd) t.conns)
+
+let handle_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     match input_line ic with
+     | exception (End_of_file | Sys_error _) -> ()
+     | first
+       when String.starts_with ~prefix:"GET " first
+            || String.starts_with ~prefix:"HEAD " first
+            || String.starts_with ~prefix:"POST " first ->
+         handle_http ic oc first
+     | first -> handle_wire t ic oc first
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  forget_conn t fd;
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  close_out_noerr oc
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        if t.stopped then (
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        else begin
+          with_lock t (fun () ->
+              t.conns <- fd :: t.conns;
+              t.threads <- Thread.create (handle_conn t) fd :: t.threads);
+          loop ()
+        end
+    | exception Unix.Unix_error _ -> if not t.stopped then loop ()
+    | exception Sys_error _ -> ()
+  in
+  loop ()
+
+let ticker_loop t =
+  Scheduler.set_ticker_running t.sched true;
+  while not t.stopped do
+    Thread.delay t.tick_interval;
+    if not t.stopped then ignore (Scheduler.tick t.sched)
+  done;
+  Scheduler.set_ticker_running t.sched false
+
+(* ------------------------------------------------------------------ *)
+
+let start ?(quota = Quota.default_config) ~listen ext =
+  (* a client hanging up mid-reply must not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let sched = Scheduler.create ~quota ext in
+  let domain, addr, host_text =
+    match listen with
+    | `Tcp (host, port) ->
+        let ip =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+            with Not_found -> Unix.inet_addr_loopback)
+        in
+        (Unix.PF_INET, Unix.ADDR_INET (ip, port), host)
+    | `Unix path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        (Unix.PF_UNIX, Unix.ADDR_UNIX path, path)
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd addr;
+     Unix.listen fd 64
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise
+       (Openivm_engine.Error.Sql_error
+          (Printf.sprintf "cannot listen on %s: %s" host_text
+             (Unix.error_message e))));
+  let bound_port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> 0
+  in
+  let text =
+    match listen with
+    | `Tcp _ -> Printf.sprintf "%s:%d" host_text bound_port
+    | `Unix path -> path
+  in
+  let wake_addr =
+    match listen with
+    | `Unix path -> Unix.ADDR_UNIX path
+    | `Tcp _ ->
+        let ip =
+          match addr with
+          | Unix.ADDR_INET (ip, _) when ip <> Unix.inet_addr_any -> ip
+          | _ -> Unix.inet_addr_loopback
+        in
+        Unix.ADDR_INET (ip, bound_port)
+  in
+  let t =
+    {
+      sched;
+      listen_fd = fd;
+      listen_spec = listen;
+      wake_addr;
+      text;
+      bound_port;
+      tick_interval = quota.Quota.tick_interval;
+      lock = Mutex.create ();
+      stop_cond = Condition.create ();
+      stopped = false;
+      conns = [];
+      threads = [];
+    }
+  in
+  let service = [ Thread.create accept_loop t ] in
+  let service =
+    if t.tick_interval > 0.0 then Thread.create ticker_loop t :: service
+    else service
+  in
+  with_lock t (fun () -> t.threads <- service @ t.threads);
+  t
+
+let stop t =
+  let already =
+    with_lock t (fun () ->
+        if t.stopped then true
+        else begin
+          t.stopped <- true;
+          false
+        end)
+  in
+  if not already then begin
+    Scheduler.set_ticker_running t.sched false;
+    (* wake the accept loop (see [wake_addr]) *)
+    (try
+       let wfd =
+         Unix.socket (Unix.domain_of_sockaddr t.wake_addr) Unix.SOCK_STREAM 0
+       in
+       (try Unix.connect wfd t.wake_addr with Unix.Unix_error _ -> ());
+       (try Unix.close wfd with Unix.Unix_error _ -> ())
+     with Unix.Unix_error _ | Invalid_argument _ -> ());
+    let conns = with_lock t (fun () -> t.conns) in
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    let threads = with_lock t (fun () -> t.threads) in
+    List.iter Thread.join threads;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Scheduler.drain t.sched;
+    (match t.listen_spec with
+    | `Unix path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | `Tcp _ -> ());
+    with_lock t (fun () -> Condition.broadcast t.stop_cond)
+  end
+
+let wait t =
+  Mutex.lock t.lock;
+  while not t.stopped do
+    Condition.wait t.stop_cond t.lock
+  done;
+  Mutex.unlock t.lock

@@ -1,0 +1,35 @@
+(** The socket front-end: a listener thread accepting connections, one
+    handler thread per connection, and (when the quota config asks for a
+    tick interval) a background ticker driving refresh ticks.
+
+    Two protocols share the listening socket, discriminated by the first
+    line: an HTTP request line (["GET ..."]) gets the [/metrics]
+    responder — live {!Openivm_obs.Report} Prometheus exposition — and
+    anything else is treated as the {!Wire} line protocol. *)
+
+type listen =
+  [ `Tcp of string * int  (** host, port; port 0 picks an ephemeral port *)
+  | `Unix of string  (** unix-domain socket path (unlinked if present) *) ]
+
+type t
+
+val start :
+  ?quota:Quota.config -> listen:listen -> Openivm.Runner.extension -> t
+(** Bind, listen and spawn the accept loop. Raises
+    {!Openivm_engine.Error.Sql_error} when the address cannot be bound. *)
+
+val scheduler : t -> Scheduler.t
+
+val port : t -> int
+(** The bound TCP port (useful with port 0); 0 for a unix socket. *)
+
+val addr_text : t -> string
+(** Human-readable listen address, e.g. ["127.0.0.1:7654"]. *)
+
+val stop : t -> unit
+(** Stop accepting, close every live connection, drain the scheduler
+    queue and join the service threads. Idempotent. *)
+
+val wait : t -> unit
+(** Block until {!stop} is called (from a signal handler or another
+    thread) — the serve subcommand's foreground mode. *)

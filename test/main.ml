@@ -34,4 +34,5 @@ let () =
       ("tpch", Test_tpch.suite);
       ("obs", Test_obs.suite);
       ("store", Test_store.suite);
+      ("server", Test_server.suite);
     ]
