@@ -1,0 +1,171 @@
+(** Domain fan-out for the parallel refresh driver.
+
+    A persistent worker pool over [Domain.spawn]:
+
+    - workers are spawned lazily the first time a section needs them and
+      then parked on a condition variable between sections.  Spawning a
+      domain forces a stop-the-world synchronization of every running
+      domain, so paying it once per process instead of once per parallel
+      section keeps the per-refresh overhead at two uncontended
+      lock/signal pairs per worker;
+    - a domain-local flag marks worker context, so a refresh that is
+      itself running on a worker (a view refreshed inside a level-parallel
+      tick) never fans out again — nested parallelism multiplies domains
+      without adding cores;
+    - the first task exception (in task-index order) is re-raised on the
+      caller after every task of the section has finished, so a failing
+      shard cannot leave siblings running against tables the caller is
+      about to roll back;
+    - at process exit the pool workers are woken with a quit flag and
+      joined, so the runtime never tears down under a live domain. *)
+
+let in_worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(** Is the calling domain itself a parallel-section worker? *)
+let in_worker () = Domain.DLS.get in_worker_key
+
+(** When false (the default), {!width} additionally caps the fan-out at
+    [Domain.recommended_domain_count ()]: more domains than the host can
+    run concurrently never helps, and actively hurts — every minor
+    collection is a stop-the-world barrier across all domains, and on an
+    oversubscribed host each barrier waits for the OS to schedule every
+    preempted domain (measured at ~8ms per barrier on a 1-core
+    container). Correctness harnesses (the fuzz oracle, the soaks, the
+    parallel alcotest suite) set this to [true] so cross-domain
+    execution is genuinely exercised even on single-core CI hosts. *)
+let oversubscribe = ref false
+
+(** Effective fan-out width for a section of [n] independent tasks under
+    [domains] requested domains: never more domains than tasks, never
+    nested, never parallel when only one domain is requested, and capped
+    at the host's available parallelism unless {!oversubscribe} is set. *)
+let width ~domains n =
+  if domains <= 1 || n <= 1 || in_worker () then 1
+  else
+    let cap =
+      if !oversubscribe then domains
+      else min domains (Domain.recommended_domain_count ())
+    in
+    min cap n
+
+(* --- the pool --- *)
+
+type wstate = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable pending : (unit -> unit) option;
+  mutable quit : bool;
+}
+
+type worker = { st : wstate; domain : unit Domain.t }
+
+let pool : worker list ref = ref []
+let pool_mutex = Mutex.create ()
+let section_mutex = Mutex.create ()
+
+let worker_loop (st : wstate) =
+  Domain.DLS.set in_worker_key true;
+  let rec next () =
+    Mutex.lock st.mutex;
+    while st.pending = None && not st.quit do
+      Condition.wait st.cond st.mutex
+    done;
+    let job = st.pending in
+    st.pending <- None;
+    Mutex.unlock st.mutex;
+    match job with
+    | Some f -> f (); next ()
+    | None -> ()   (* quit, with no job left behind *)
+  in
+  next ()
+
+let shutdown () =
+  Mutex.lock pool_mutex;
+  let ws = !pool in
+  pool := [];
+  Mutex.unlock pool_mutex;
+  List.iter
+    (fun w ->
+       Mutex.lock w.st.mutex;
+       w.st.quit <- true;
+       Condition.signal w.st.cond;
+       Mutex.unlock w.st.mutex)
+    ws;
+  List.iter (fun w -> Domain.join w.domain) ws
+
+let spawn_worker () =
+  let st =
+    { mutex = Mutex.create (); cond = Condition.create ();
+      pending = None; quit = false }
+  in
+  { st; domain = Domain.spawn (fun () -> worker_loop st) }
+
+(** At least [n] parked workers, spawning the shortfall. Returns the
+    first [n]. *)
+let ensure_workers n =
+  Mutex.lock pool_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock pool_mutex)
+    (fun () ->
+       let have = List.length !pool in
+       if have = 0 && n > 0 then at_exit shutdown;
+       if have < n then
+         pool := !pool @ List.init (n - have) (fun _ -> spawn_worker ());
+       List.filteri (fun i _ -> i < n) !pool)
+
+let submit w job =
+  Mutex.lock w.st.mutex;
+  w.st.pending <- Some job;
+  Condition.signal w.st.cond;
+  Mutex.unlock w.st.mutex
+
+(** [map tasks] runs every thunk to completion — tasks.(0) on the calling
+    domain, the rest each on a parked pool worker — and returns their
+    results in order. The section ends only when every task has finished,
+    even when some raise; the first exception in task-index order is then
+    re-raised. *)
+let map (tasks : (unit -> 'a) array) : 'a array =
+  match Array.length tasks with
+  | 0 -> [||]
+  | 1 -> [| tasks.(0) () |]
+  | n ->
+    (* one section at a time: two concurrent maps sharing a parked worker
+       could overwrite each other's pending job before pickup *)
+    Mutex.lock section_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock section_mutex) @@ fun () ->
+    let results : ('a, exn) result option array = Array.make n None in
+    let latch_mutex = Mutex.create () in
+    let latch_cond = Condition.create () in
+    let finished = ref 0 in
+    let run i () =
+      let r = try Ok (tasks.(i) ()) with e -> Error e in
+      Mutex.lock latch_mutex;
+      results.(i) <- Some r;
+      incr finished;
+      Condition.signal latch_cond;
+      Mutex.unlock latch_mutex
+    in
+    let workers = ensure_workers (n - 1) in
+    List.iteri (fun i w -> submit w (run (i + 1))) workers;
+    (* the caller-run task is a worker too: while siblings are live it
+       must not open a nested section whose pre-pass (index warming)
+       would touch tables the siblings are writing *)
+    let saved = Domain.DLS.get in_worker_key in
+    Domain.DLS.set in_worker_key true;
+    run 0 ();
+    Domain.DLS.set in_worker_key saved;
+    Mutex.lock latch_mutex;
+    while !finished < n do
+      Condition.wait latch_cond latch_mutex
+    done;
+    Mutex.unlock latch_mutex;
+    let first_error =
+      Array.fold_left
+        (fun acc r ->
+           match acc, r with None, Some (Error e) -> Some e | _ -> acc)
+        None results
+    in
+    (match first_error with Some e -> raise e | None -> ());
+    Array.map
+      (function Some (Ok r) -> r | Some (Error _) | None -> assert false)
+      results

@@ -718,3 +718,16 @@ let script (flags : Flags.t) (shape : Shape.t) : script =
 
 let all_statements (s : script) : Ast.stmt list =
   s.fill @ s.combine @ s.prune @ s.cleanup
+
+(** The (target, query) of a plain positional [INSERT INTO t SELECT ...] —
+    the shape shared by every fill statement and by the stage-filling
+    statement of the swap strategies. The parallel refresh driver uses it
+    to re-point a statement's SELECT at per-shard tables and bulk-insert
+    the merged result itself. (The explicit [columns] of the stage insert
+    name the stage table's columns in DDL order, so treating the insert
+    as positional is exact.) *)
+let insert_select_parts : Ast.stmt -> (string * Ast.select) option = function
+  | Ast.Insert
+      { table; source = Ast.Query q; on_conflict = Ast.No_conflict_clause; _ }
+    -> Some (table, q)
+  | _ -> None

@@ -36,6 +36,12 @@ type script = {
 val script : Flags.t -> Shape.t -> script
 val all_statements : script -> Ast.stmt list
 
+val insert_select_parts : Ast.stmt -> (string * Ast.select) option
+(** The (target, query) of a plain positional [INSERT INTO t SELECT ...]
+    (no conflict clause) — the shape of fill and stage-filling statements,
+    which the parallel refresh driver rewrites per delta shard. [None] for
+    anything else. *)
+
 (**/**)
 
 val tuple_key : Ast.expr list -> Ast.expr

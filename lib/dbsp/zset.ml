@@ -59,10 +59,12 @@ let equal a b =
 
 (* --- linear operations --- *)
 
-(** z1 + z2 (weights add). *)
+(** z1 + z2 (weights add). Copies the larger operand and folds the smaller
+    one in, so the hash-table copy is always the cheap side. *)
 let plus a b =
-  let z = copy a in
-  iter (fun row w -> add z row w) b;
+  let big, small = if cardinality a >= cardinality b then (a, b) else (b, a) in
+  let z = copy big in
+  iter (fun row w -> add z row w) small;
   z
 
 (** -z. *)
@@ -71,12 +73,50 @@ let negate a =
   iter (fun row w -> add z row (-w)) a;
   z
 
-(** z1 - z2. *)
-let minus a b = plus a (negate b)
+(** z1 - z2, in one pass: fold b's weights in negated instead of building
+    a full negated copy first (this sits on the per-tick consolidation
+    path). *)
+let minus a b =
+  let z = copy a in
+  iter (fun row w -> add z row (-w)) b;
+  z
 
 (** In-place accumulation: [into += delta]. This is the integration
     operator I applied one step at a time. *)
 let accumulate ~into delta = iter (fun row w -> add into row w) delta
+
+(* --- partitioning (the multicore refresh carrier) --- *)
+
+(** Hash-partition into [parts] shards by [key] (default: the whole row).
+    Z-sets partition cleanly (DBSP): every linear operator distributes over
+    the shards, so sharded deltas can be propagated independently and
+    {!merge}d back by signed addition. The shard function is
+    [Row.hash (key row) mod parts] — deterministic for a given row, and
+    rows that compare equal under the engine's numeric-coercing equality
+    hash alike ({!Openivm_engine.Value.hash}), so equal group keys always
+    colocate. *)
+let partition ?key ~parts z =
+  if parts <= 0 then invalid_arg "Zset.partition: parts must be positive";
+  let key = match key with Some f -> f | None -> Fun.id in
+  let shards =
+    Array.init parts (fun _ ->
+        create ~size:(cardinality z / parts + 1) ())
+  in
+  iter
+    (fun row w ->
+       let h = Row.hash (key row) land max_int in
+       add shards.(h mod parts) row w)
+    z;
+  shards
+
+(** Signed union of per-shard results: weights add across shards. The
+    inverse of {!partition} (up to re-consolidation: a row emitted by
+    several shards nets to one entry). *)
+let merge (shards : t array) : t =
+  let total = Array.fold_left (fun acc s -> acc + cardinality s) 0 shards in
+  let z = create ~size:(total + 1) () in
+  Array.iter (fun s -> accumulate ~into:z s) shards;
+  z
 
 (* --- operators (all weight-linear except [distinct]) --- *)
 

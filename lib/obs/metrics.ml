@@ -29,6 +29,16 @@ type histogram = metric
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
+(* One registry-wide lock makes every instrument safe to update from any
+   domain (parallel refresh workers included). Updates are per-statement
+   or per-batch, never per-row, so an uncontended lock/unlock is noise
+   next to the work being measured. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let key_of name labels =
   name ^ "|"
   ^ String.concat ","
@@ -37,6 +47,7 @@ let key_of name labels =
 let get_or_create ?(help = "") ?(labels = []) kind name =
   let labels = List.sort compare labels in
   let key = key_of name labels in
+  locked @@ fun () ->
   match Hashtbl.find_opt registry key with
   | Some m ->
     if m.kind <> kind then
@@ -55,21 +66,23 @@ let get_or_create ?(help = "") ?(labels = []) kind name =
 let counter ?help ?labels name = get_or_create ?help ?labels Counter name
 
 let add c n =
+  locked @@ fun () ->
   c.icount <- c.icount + n;
   c.touched <- true
 
 let incr c = add c 1
-let counter_value c = c.icount
+let counter_value c = locked (fun () -> c.icount)
 
 let gauge ?help ?labels name = get_or_create ?help ?labels Gauge name
 
 let set_gauge g v =
+  locked @@ fun () ->
   g.fsum <- v;
   g.touched <- true
 
 let set_gauge_int g v = set_gauge g (float_of_int v)
 
-let gauge_value g = g.fsum
+let gauge_value g = locked (fun () -> g.fsum)
 
 let histogram ?help ?labels name = get_or_create ?help ?labels Histogram name
 
@@ -82,6 +95,7 @@ let bucket_index v =
   go 0
 
 let observe h v =
+  locked @@ fun () ->
   h.icount <- h.icount + 1;
   h.fsum <- h.fsum +. v;
   if v < h.vmin then h.vmin <- v;
@@ -89,10 +103,16 @@ let observe h v =
   h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
   h.touched <- true
 
-let hist_count h = h.icount
-let hist_sum h = h.fsum
+let hist_count h = locked (fun () -> h.icount)
+let hist_sum h = locked (fun () -> h.fsum)
 
+(* An empty histogram (fresh, or wiped by [reset_values]) has vmin = +inf
+   and vmax = -inf: the final clamp would turn any interpolated value into
+   ±infinity, so the empty case short-circuits to nan — a defined "no
+   observations" marker that the text renderer prints as-is and the JSON
+   renderer maps to null. *)
 let percentile h p =
+  locked @@ fun () ->
   if h.icount = 0 then nan
   else begin
     let rank = p *. float_of_int h.icount in
@@ -119,6 +139,7 @@ let percentile h p =
   end
 
 let reset_values () =
+  locked @@ fun () ->
   Hashtbl.iter
     (fun _ m ->
        m.icount <- 0;
@@ -141,6 +162,7 @@ type snapshot =
     }
 
 let snapshot () =
+  locked @@ fun () ->
   let all = Hashtbl.fold (fun _ m acc -> m :: acc) registry [] in
   let live = List.filter (fun m -> m.touched) all in
   let sorted =

@@ -119,7 +119,12 @@ let json_escape s =
   Buffer.contents buf
 
 let json_str s = "\"" ^ json_escape s ^ "\""
-let json_float f = Printf.sprintf "%.9g" f
+
+(* JSON has no literal for nan/±inf ("%.9g" would print them verbatim and
+   corrupt the line). They arise legitimately — an empty histogram has
+   vmin = +inf, vmax = -inf, percentiles nan — so render them as null. *)
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
 
 let json_attr (k, v) =
   Printf.sprintf "%s:%s" (json_str k)

@@ -1,7 +1,7 @@
 (** Tracing spans over the IVM hot paths. See the interface for the
-    contract; the implementation is a global trace buffer plus a stack of
-    open spans for parent attribution. Single-threaded by design, like the
-    rest of the engine. *)
+    contract; the implementation is a global trace buffer plus a
+    per-domain stack of open spans for parent attribution, so spans can
+    be opened from parallel refresh workers. *)
 
 type value =
   | Int of int
@@ -29,20 +29,31 @@ let enabled_flag = ref false
 let enabled () = !enabled_flag
 let set_enabled b = enabled_flag := b
 
-let next_id = ref 1
+(* The trace buffer and id counter are process-global (guarded by a lock /
+   an atomic) so spans opened from parallel refresh domains record safely;
+   the open-span stack is domain-local, so parent attribution never
+   crosses a domain boundary. *)
+let next_id = Atomic.make 1
+let lock = Mutex.create ()
 let recorded : t list ref = ref []   (* reverse start order *)
-let stack : t list ref = ref []      (* innermost open span first *)
+
+let stack_key : t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key  (* innermost open span first *)
 
 let reset () =
-  next_id := 1;
+  Atomic.set next_id 1;
+  Mutex.lock lock;
   recorded := [];
-  stack := []
+  Mutex.unlock lock;
+  stack () := []
 
 let enter ?(attrs = []) name =
   if not !enabled_flag then none
   else begin
-    let id = !next_id in
-    incr next_id;
+    let id = Atomic.fetch_and_add next_id 1 in
+    let stack = stack () in
     let parent = match !stack with [] -> None | s :: _ -> Some s.id in
     let s =
       { id; parent; name;
@@ -50,7 +61,9 @@ let enter ?(attrs = []) name =
         start_alloc = Clock.allocated_bytes ();
         duration = 0.0; alloc_bytes = 0.0; attrs; closed = false }
     in
+    Mutex.lock lock;
     recorded := s :: !recorded;
+    Mutex.unlock lock;
     stack := s :: !stack;
     s
   end
@@ -61,6 +74,7 @@ let finish s =
     s.alloc_bytes <- Clock.allocated_bytes () -. s.start_alloc;
     s.closed <- true;
     (* pop through s, tolerating children left open by mistake *)
+    let stack = stack () in
     let rec pop = function
       | [] -> []
       | x :: rest -> if x == s then rest else pop rest

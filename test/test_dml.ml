@@ -137,4 +137,24 @@ let suite =
         match Database.query db "SELECT * FROM t" with
         | exception Error.Sql_error _ -> ()
         | _ -> Alcotest.fail "table should be gone");
+    (* regression: catalog name listings must be sorted, not hashtable
+       iteration order — SHOW TABLES output and the fuzz oracle's view
+       install order both depend on it being deterministic *)
+    Util.tc "catalog name listings are sorted" (fun () ->
+        let db =
+          Util.db_with
+            [ "CREATE TABLE zeta(a INTEGER)";
+              "CREATE TABLE alpha(a INTEGER)";
+              "CREATE TABLE mid(a INTEGER)";
+              "CREATE VIEW v_z AS SELECT a FROM zeta";
+              "CREATE VIEW v_a AS SELECT a FROM alpha" ]
+        in
+        let cat = Database.catalog db in
+        Alcotest.(check (list string)) "tables sorted"
+          [ "alpha"; "mid"; "zeta" ] (Catalog.table_names cat);
+        Alcotest.(check (list string)) "views sorted"
+          [ "v_a"; "v_z" ] (Catalog.view_names cat);
+        let sorted l = List.sort String.compare l in
+        let mvs = Catalog.mat_view_names cat in
+        Alcotest.(check (list string)) "mat views sorted" (sorted mvs) mvs);
   ]

@@ -159,6 +159,45 @@ let test_percentiles () =
     (p50 >= 4e-6 && p50 <= 1.6e-5);
   Report.reset_all ()
 
+(* regression: an empty histogram has vmin = +inf / vmax = -inf; the
+   percentile clamp must not leak those as ±infinity, fresh or after
+   reset_values wipes a used histogram back to empty *)
+let test_empty_percentile_guard () =
+  Report.reset_all ();
+  let h = Metrics.histogram "obs_test_empty_seconds" in
+  List.iter
+    (fun p ->
+       Alcotest.(check bool)
+         (Printf.sprintf "fresh p%g is nan, not inf" (100.0 *. p)) true
+         (Float.is_nan (Metrics.percentile h p)))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  Metrics.observe h 0.003;
+  Metrics.reset_values ();
+  List.iter
+    (fun p ->
+       Alcotest.(check bool)
+         (Printf.sprintf "post-reset p%g is nan, not inf" (100.0 *. p)) true
+         (Float.is_nan (Metrics.percentile h p)))
+    [ 0.0; 0.5; 1.0 ];
+  Report.reset_all ()
+
+(* regression: nan/±inf have no JSON literal — the renderer must map
+   them to null rather than emit "nan"/"inf" and corrupt the line *)
+let test_json_non_finite () =
+  Report.reset_all ();
+  Metrics.set_gauge (Metrics.gauge "obs_test_nan_gauge") Float.nan;
+  Metrics.set_gauge (Metrics.gauge "obs_test_inf_gauge") Float.infinity;
+  let out = Report.render `Json in
+  let contains needle =
+    let n = String.length needle and l = String.length out in
+    let rec go i = i + n <= l && (String.sub out i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "no bare nan" false (contains ":nan");
+  Alcotest.(check bool) "no bare inf" false (contains ":inf");
+  Alcotest.(check bool) "null substituted" true (contains "\"value\":null");
+  Report.reset_all ()
+
 (* --- golden reports under the injected clock --- *)
 
 (** A fixed scenario covering every renderer feature: nested spans with
@@ -207,6 +246,33 @@ let check_golden name actual =
           (see the header of test_obs.ml)"
          path)
   else Alcotest.(check string) name (read_file path) actual
+
+(* --- spans under domain parallelism --- *)
+
+let test_spans_across_domains =
+  with_obs (fun () ->
+      let root = Span.enter "root" in
+      let worker i () =
+        let s = Span.enter (Printf.sprintf "worker%d" i) in
+        Span.finish s
+      in
+      let domains = List.init 3 (fun i -> Domain.spawn (worker i)) in
+      List.iter Domain.join domains;
+      Span.finish root;
+      let spans = Span.spans () in
+      Alcotest.(check int) "all spans recorded" 4 (List.length spans);
+      let ids = List.map (fun (s : Span.t) -> s.Span.id) spans in
+      Alcotest.(check int) "ids unique" 4
+        (List.length (List.sort_uniq compare ids));
+      List.iter
+        (fun (s : Span.t) ->
+           if s.Span.name <> "root" then
+             (* each worker's stack is domain-local, so "root" (open on the
+                main domain) must not become its parent *)
+             Alcotest.(check (option int))
+               (s.Span.name ^ " has no cross-domain parent") None
+               s.Span.parent)
+        spans)
 
 let test_golden_text =
   with_obs (fun () ->
@@ -290,6 +356,12 @@ let suite =
     Util.tc "kind mismatch on a registered name raises" test_kind_mismatch;
     Util.tc "histogram percentile interpolation and clamping"
       test_percentiles;
+    Util.tc "empty histogram percentiles stay nan, fresh and after reset"
+      test_empty_percentile_guard;
+    Util.tc "JSON renderer maps non-finite values to null"
+      test_json_non_finite;
+    Util.tc "spans record safely from spawned domains"
+      test_spans_across_domains;
     Util.tc "text report matches golden under injected clock"
       test_golden_text;
     Util.tc "JSON lines report matches golden" test_golden_jsonl;

@@ -1,0 +1,242 @@
+(** Domain-parallel refresh (Flags.domains > 1): every configuration must
+    produce results identical to sequential propagation and to full
+    recomputation — parallelism is an execution strategy, never a
+    semantics change. Covers partitioned fill over joins, the
+    group-partitioned stage fill of the swap strategies, skewed and
+    tiny deltas (empty shards / fallback paths), and the level-parallel
+    cascade tick. *)
+
+open Openivm_engine
+module Runner = Openivm.Runner
+module Flags = Openivm.Flags
+
+(* exercise real cross-domain execution even on single-core CI hosts *)
+let () = Openivm.Parallel.oversubscribe := true
+
+let base_ddl =
+  [ "CREATE TABLE sales(region VARCHAR, product VARCHAR, amount INTEGER)";
+    "CREATE TABLE products(product VARCHAR, category VARCHAR)" ]
+
+let seed_rows db ~rows =
+  for i = 1 to rows do
+    Util.exec db
+      (Printf.sprintf
+         "INSERT INTO sales VALUES ('r%d', 'p%d', %d)"
+         (i mod 7) (i mod 13) (i * 3 mod 101))
+  done;
+  for i = 0 to 12 do
+    Util.exec db
+      (Printf.sprintf "INSERT INTO products VALUES ('p%d', 'c%d')" i (i mod 3))
+  done
+
+let churn db ~rows =
+  for i = 1 to rows do
+    Util.exec db
+      (Printf.sprintf
+         "INSERT INTO sales VALUES ('r%d', 'p%d', %d)"
+         (i mod 5) (i mod 11) (i * 7 mod 53))
+  done;
+  Util.exec db "DELETE FROM sales WHERE amount > 90";
+  Util.exec db "UPDATE sales SET amount = amount + 1 WHERE region = 'r1'"
+
+(** Install [sql] under [strategy] × [domains], seed, churn, refresh, and
+    return the view's visible rows (the oracle compares runs). *)
+let run_once ~strategy ~domains ~rows sql =
+  let db = Util.db_with base_ddl in
+  seed_rows db ~rows;
+  let flags = { Flags.default with Flags.strategy; domains } in
+  let v = Runner.install ~flags db sql in
+  churn db ~rows;
+  Runner.force_refresh v;
+  Util.check_view_consistent ~msg:"parallel view = recompute" db v;
+  Runner.visible_rows v
+
+let check_domains_equal ?(rows = 120) ~strategy sql =
+  let seq = run_once ~strategy ~domains:1 ~rows sql in
+  List.iter
+    (fun domains ->
+       Alcotest.(check (list string))
+         (Printf.sprintf "domains=%d matches domains=1" domains)
+         seq
+         (run_once ~strategy ~domains ~rows sql))
+    [ 2; 4 ]
+
+let group_view =
+  "CREATE MATERIALIZED VIEW v AS SELECT region, SUM(amount) AS total, \
+   COUNT(*) AS n FROM sales GROUP BY region"
+
+let join_view =
+  "CREATE MATERIALIZED VIEW v AS SELECT p.category, SUM(s.amount) AS total \
+   FROM sales s JOIN products p ON s.product = p.product GROUP BY p.category"
+
+let minmax_view =
+  "CREATE MATERIALIZED VIEW v AS SELECT region, MIN(amount) AS lo, \
+   MAX(amount) AS hi FROM sales GROUP BY region"
+
+let test_strategies () =
+  List.iter
+    (fun strategy ->
+       check_domains_equal ~strategy group_view;
+       check_domains_equal ~strategy join_view)
+    [ Flags.Upsert_linear; Flags.Union_regroup; Flags.Outer_join_merge;
+      Flags.Rederive_affected; Flags.Full_recompute ]
+
+let test_minmax () =
+  (* MIN/MAX routes to rederive regardless of the requested strategy *)
+  List.iter
+    (fun strategy -> check_domains_equal ~strategy minmax_view)
+    [ Flags.Union_regroup; Flags.Rederive_affected ]
+
+let test_tiny_delta () =
+  (* fewer delta rows than shards: the fill falls back to sequential,
+     results must not change *)
+  List.iter
+    (fun strategy -> check_domains_equal ~rows:2 ~strategy group_view)
+    [ Flags.Upsert_linear; Flags.Union_regroup; Flags.Outer_join_merge ]
+
+let test_skewed_keys () =
+  (* every row in one group: group-partitioned combine leaves all but one
+     shard empty, which must be harmless *)
+  let run domains =
+    let db = Util.db_with base_ddl in
+    for i = 1 to 150 do
+      Util.exec db
+        (Printf.sprintf "INSERT INTO sales VALUES ('only', 'p1', %d)" i)
+    done;
+    let flags =
+      { Flags.default with Flags.strategy = Flags.Union_regroup; domains }
+    in
+    let v = Runner.install ~flags db group_view in
+    for i = 1 to 80 do
+      Util.exec db
+        (Printf.sprintf "INSERT INTO sales VALUES ('only', 'p2', %d)" i)
+    done;
+    Runner.force_refresh v;
+    Util.check_view_consistent ~msg:"skewed view = recompute" db v;
+    Runner.visible_rows v
+  in
+  Alcotest.(check (list string)) "skewed: domains=4 matches domains=1"
+    (run 1) (run 4)
+
+(** Same-level cascade: two independent level-0 views plus a level-1 view
+    over both, refreshed through the tick — the level-parallel driver
+    refreshes the level-0 pair concurrently. *)
+let cascade_tick domains =
+  let db = Util.db_with base_ddl in
+  seed_rows db ~rows:100;
+  let flags = { Flags.default with Flags.domains } in
+  let ext = Runner.load ~flags db in
+  let install sql =
+    match Runner.exec_ext ext sql with
+    | `Installed v -> v
+    | `Result _ -> Alcotest.fail "expected a view install"
+  in
+  let a =
+    install
+      "CREATE MATERIALIZED VIEW by_region AS SELECT region, SUM(amount) AS \
+       total FROM sales GROUP BY region"
+  in
+  let b =
+    install
+      "CREATE MATERIALIZED VIEW by_product AS SELECT product, COUNT(*) AS n \
+       FROM sales GROUP BY product"
+  in
+  let c =
+    install
+      "CREATE MATERIALIZED VIEW big_regions AS SELECT region, total FROM \
+       by_region WHERE total > 50"
+  in
+  churn db ~rows:90;
+  let ran = Runner.refresh_tick ext in
+  Alcotest.(check bool) "tick refreshed views" true (ran >= 1);
+  List.iter (Util.check_view_consistent ~msg:"cascade view = recompute" db)
+    [ a; b; c ];
+  (Runner.visible_rows a, Runner.visible_rows b, Runner.visible_rows c)
+
+let test_cascade_tick () =
+  let a1, b1, c1 = cascade_tick 1 in
+  List.iter
+    (fun domains ->
+       let a, b, c = cascade_tick domains in
+       Alcotest.(check (list string)) "level-0 view a equal" a1 a;
+       Alcotest.(check (list string)) "level-0 view b equal" b1 b;
+       Alcotest.(check (list string)) "level-1 view c equal" c1 c)
+    [ 2; 4 ]
+
+let test_repeated_ticks () =
+  (* shard tables are created and dropped per refresh: repeated parallel
+     ticks must not leak catalog entries or stale contents *)
+  let db = Util.db_with base_ddl in
+  seed_rows db ~rows:80;
+  let flags =
+    { Flags.default with
+      Flags.domains = 2; strategy = Flags.Union_regroup }
+  in
+  let ext = Runner.load ~flags db in
+  let v =
+    match Runner.exec_ext ext group_view with
+    | `Installed v -> v
+    | `Result _ -> Alcotest.fail "expected a view install"
+  in
+  let tables_before = Catalog.table_names (Database.catalog db) in
+  for round = 1 to 4 do
+    for i = 1 to 40 do
+      Util.exec db
+        (Printf.sprintf "INSERT INTO sales VALUES ('r%d', 'p%d', %d)"
+           (i mod 3) (i mod 5) (round * i mod 97))
+    done;
+    ignore (Runner.refresh_tick ext);
+    Util.check_view_consistent ~msg:"round view = recompute" db v
+  done;
+  Alcotest.(check (list string)) "no shard tables leaked"
+    tables_before
+    (Catalog.table_names (Database.catalog db))
+
+let test_eager_mixed () =
+  (* an eager downstream over a lazy upstream under the parallel tick *)
+  let run domains =
+    let db = Util.db_with base_ddl in
+    seed_rows db ~rows:60;
+    let flags = { Flags.default with Flags.domains } in
+    let ext = Runner.load ~flags db in
+    let install sql =
+      match Runner.exec_ext ext sql with
+      | `Installed v -> v
+      | `Result _ -> Alcotest.fail "expected a view install"
+    in
+    let up =
+      install
+        "CREATE MATERIALIZED VIEW by_region AS SELECT region, SUM(amount) \
+         AS total FROM sales GROUP BY region"
+    in
+    let down =
+      Runner.install
+        ~flags:{ flags with Flags.refresh = Flags.Eager }
+        ~registry:[ up ] db
+        "CREATE MATERIALIZED VIEW loud AS SELECT region, total FROM \
+         by_region WHERE total >= 0"
+    in
+    ext.Runner.ext_views <- down :: ext.Runner.ext_views;
+    churn db ~rows:50;
+    ignore (Runner.refresh_tick ext);
+    Util.check_view_consistent ~msg:"eager downstream consistent" db down;
+    (Runner.visible_rows up, Runner.visible_rows down)
+  in
+  let u1, d1 = run 1 in
+  let u2, d2 = run 2 in
+  Alcotest.(check (list string)) "upstream equal" u1 u2;
+  Alcotest.(check (list string)) "eager downstream equal" d1 d2
+
+let suite =
+  [ Util.tc "all strategies: 1/2/4 domains agree (group + join views)"
+      test_strategies;
+    Util.tc "min/max (rederive route): domains agree" test_minmax;
+    Util.tc "delta smaller than shard count falls back cleanly"
+      test_tiny_delta;
+    Util.tc "skewed keys: empty shards are harmless" test_skewed_keys;
+    Util.tc "level-parallel cascade tick matches sequential"
+      test_cascade_tick;
+    Util.tc "repeated parallel ticks leak no shard tables"
+      test_repeated_ticks;
+    Util.tc "eager downstream over lazy upstream under parallel tick"
+      test_eager_mixed ]
